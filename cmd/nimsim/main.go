@@ -1,0 +1,212 @@
+// Command nimsim runs a single Network-in-Memory simulation and prints the
+// full measurement report: latency, IPC, migration, coherence, network
+// traffic, and dynamic energy.
+//
+// Usage:
+//
+//	nimsim -scheme dnuca3d -bench mgrid
+//	nimsim -scheme snuca3d -bench swim -layers 4 -measure 500000
+//	nimsim -scheme dnuca3d -bench art -pillars 2
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	nim "repro"
+	"repro/internal/power"
+)
+
+var schemeNames = map[string]nim.Scheme{
+	"dnuca":   nim.CMPDNUCA,
+	"dnuca2d": nim.CMPDNUCA2D,
+	"snuca3d": nim.CMPSNUCA3D,
+	"dnuca3d": nim.CMPDNUCA3D,
+}
+
+func main() {
+	var (
+		mix     = flag.String("mix", "", "multiprogrammed mix: comma-separated benchmarks, one per core (cycled)")
+		traceIn = flag.String("trace", "", "replay trace files instead of synthetic workloads: comma-separated, one per core (cycled)")
+		asJSON  = flag.Bool("json", false, "emit the results as JSON instead of text")
+		heatmap = flag.Bool("heatmap", false, "print per-layer router utilization maps")
+		busrep  = flag.Bool("buses", false, "print per-pillar bus utilization")
+		scheme  = flag.String("scheme", "dnuca3d", "scheme: dnuca, dnuca2d, snuca3d, dnuca3d")
+		bench   = flag.String("bench", "mgrid", "SPEC OMP benchmark name")
+		layers  = flag.Int("layers", 0, "override layer count (3D schemes)")
+		pillars = flag.Int("pillars", 0, "override pillar count")
+		l2mb    = flag.Int("l2", 0, "override L2 size in MB (16, 32, 64)")
+		stack   = flag.Bool("stack", false, "force vertical CPU stacking")
+		warm    = flag.Uint64("warm", 50_000, "settle cycles before measurement")
+		measure = flag.Uint64("measure", 250_000, "measurement window in cycles")
+		seed    = flag.Uint64("seed", 1, "deterministic seed")
+	)
+	flag.Parse()
+
+	s, ok := schemeNames[strings.ToLower(*scheme)]
+	if !ok {
+		fatalf("unknown scheme %q (want dnuca, dnuca2d, snuca3d, dnuca3d)", *scheme)
+	}
+	cfg := nim.DefaultConfig(s)
+	if *layers > 0 {
+		cfg.Layers = *layers
+	}
+	if *pillars > 0 {
+		cfg.NumPillars = *pillars
+	}
+	if *l2mb > 0 {
+		var err error
+		if cfg, err = cfg.WithL2Size(*l2mb); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	cfg.StackCPUs = *stack
+
+	sim, err := buildSimulation(cfg, *bench, *mix, *traceIn, *seed)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	sim.Start()
+	sim.Run(*warm)
+	sim.ResetStats()
+	sim.Run(*measure)
+	r := sim.Results()
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(r); err != nil {
+			fatalf("%v", err)
+		}
+		if err := sim.CheckInvariants(); err != nil {
+			fatalf("invariant violation: %v", err)
+		}
+		return
+	}
+
+	fmt.Printf("scheme      %s\n", r.Scheme)
+	fmt.Printf("benchmark   %s\n", r.Benchmark)
+	fmt.Printf("cycles      %d (after %d settle cycles)\n", r.Cycles, *warm)
+	fmt.Printf("\nperformance\n")
+	fmt.Printf("  instructions   %12d\n", r.Instructions)
+	fmt.Printf("  IPC            %12.3f (per core)\n", r.IPC)
+	fmt.Printf("\nL2 cache\n")
+	fmt.Printf("  accesses       %12d\n", r.L2Accesses)
+	fmt.Printf("  hits           %12d\n", r.L2Hits)
+	fmt.Printf("  misses         %12d\n", r.L2Misses)
+	fmt.Printf("  avg hit lat    %12.1f cycles\n", r.AvgL2HitLatency)
+	if r.AvgPrivateHitLatency > 0 {
+		fmt.Printf("  private hits   %12.1f cycles\n", r.AvgPrivateHitLatency)
+	}
+	if r.AvgSharedHitLatency > 0 {
+		fmt.Printf("  shared hits    %12.1f cycles\n", r.AvgSharedHitLatency)
+	}
+	if r.AvgCodeHitLatency > 0 {
+		fmt.Printf("  code hits      %12.1f cycles\n", r.AvgCodeHitLatency)
+	}
+	fmt.Printf("  hit lat P50    %12d cycles\n", r.P50L2HitLatency)
+	fmt.Printf("  hit lat P95    %12d cycles\n", r.P95L2HitLatency)
+	fmt.Printf("  hit lat P99    %12d cycles\n", r.P99L2HitLatency)
+	if r.L2Misses > 0 {
+		fmt.Printf("  avg miss lat   %12.1f cycles\n", r.AvgL2MissLatency)
+	}
+	fmt.Printf("\nmanagement\n")
+	fmt.Printf("  migrations     %12d\n", r.Migrations)
+	fmt.Printf("  probes sent    %12d\n", r.ProbesSent)
+	fmt.Printf("  step-2 search  %12d\n", r.Step2Searches)
+	fmt.Printf("  invalidations  %12d\n", r.Invalidations)
+	fmt.Printf("  back-invals    %12d\n", r.BackInvals)
+	fmt.Printf("  evictions      %12d\n", r.Evictions)
+	fmt.Printf("  memory reads   %12d\n", r.MemReads)
+	fmt.Printf("  memory writes  %12d\n", r.MemWrites)
+	fmt.Printf("\nnetwork\n")
+	fmt.Printf("  flit-hops      %12d\n", r.FlitHops)
+	fmt.Printf("  bus flits      %12d\n", r.BusFlits)
+
+	e := power.Estimate(r.FlitHops, r.BusFlits, r.L2Hits, r.MemReads+r.Migrations, r.ProbesSent, r.Migrations)
+	fmt.Printf("\ndynamic energy (window)\n")
+	fmt.Printf("  network        %12.1f nJ\n", e.NetworkPJ/1000)
+	fmt.Printf("  pillar buses   %12.1f nJ\n", e.BusPJ/1000)
+	fmt.Printf("  banks          %12.1f nJ\n", e.BanksPJ/1000)
+	fmt.Printf("  tags           %12.1f nJ\n", e.TagsPJ/1000)
+	fmt.Printf("  migration      %12.1f nJ\n", e.MigrationPJ/1000)
+	fmt.Printf("  total          %12.1f nJ\n", e.TotalPJ()/1000)
+
+	if *heatmap {
+		fmt.Println()
+		sim.WriteHeatmap(os.Stdout)
+	}
+	if *busrep {
+		fmt.Println()
+		sim.WriteBusReport(os.Stdout)
+	}
+
+	if err := sim.CheckInvariants(); err != nil {
+		fatalf("invariant violation: %v", err)
+	}
+}
+
+// buildSimulation constructs (and warms) the requested machine: a single
+// benchmark on every core, a multiprogrammed mix, or replayed trace files.
+func buildSimulation(cfg nim.Config, bench, mix, traceIn string, seed uint64) (*nim.Simulation, error) {
+	switch {
+	case traceIn != "":
+		files := strings.Split(traceIn, ",")
+		streams := make([]nim.Stream, cfg.NumCPUs)
+		var footprint []nim.LineAddr
+		for i := range streams {
+			f, err := os.Open(files[i%len(files)])
+			if err != nil {
+				return nil, err
+			}
+			fs, err := nim.ParseTrace(f)
+			f.Close()
+			if err != nil {
+				return nil, err
+			}
+			streams[i] = fs
+			footprint = append(footprint, fs.Footprint()...)
+		}
+		sim, err := nim.NewTraceSimulation(cfg, streams, "trace:"+traceIn, seed)
+		if err != nil {
+			return nil, err
+		}
+		sim.WarmAddresses(footprint)
+		return sim, nil
+	case mix != "":
+		names := strings.Split(mix, ",")
+		benches := make([]nim.Benchmark, cfg.NumCPUs)
+		for i := range benches {
+			p, ok := nim.BenchmarkByName(names[i%len(names)], cfg.NumCPUs)
+			if !ok {
+				return nil, fmt.Errorf("unknown benchmark %q", names[i%len(names)])
+			}
+			benches[i] = p
+		}
+		sim, err := nim.NewMixedSimulation(cfg, benches, seed)
+		if err != nil {
+			return nil, err
+		}
+		sim.Warm()
+		return sim, nil
+	default:
+		prof, ok := nim.BenchmarkByName(bench, cfg.NumCPUs)
+		if !ok {
+			return nil, fmt.Errorf("unknown benchmark %q", bench)
+		}
+		sim, err := nim.NewSimulation(cfg, prof, seed)
+		if err != nil {
+			return nil, err
+		}
+		sim.Warm()
+		return sim, nil
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "nimsim: "+format+"\n", args...)
+	os.Exit(1)
+}

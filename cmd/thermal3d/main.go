@@ -1,0 +1,119 @@
+// Command thermal3d runs the 3D thermal model: either the paper's Table 3
+// configurations or a custom chip, and optionally renders the per-layer
+// temperature map as ASCII heat shades.
+//
+// Usage:
+//
+//	thermal3d                       # Table 3 reproduction
+//	thermal3d -layers 2 -stack      # custom configuration
+//	thermal3d -layers 4 -map        # with per-layer heat maps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	nim "repro"
+	"repro/internal/config"
+	"repro/internal/geom"
+	"repro/internal/thermal"
+)
+
+func main() {
+	var (
+		layers  = flag.Int("layers", 0, "custom run: number of layers (0 = print Table 3)")
+		pillars = flag.Int("pillars", 8, "custom run: number of pillars")
+		k       = flag.Int("k", 1, "custom run: Algorithm 1 offset distance")
+		stack   = flag.Bool("stack", false, "custom run: stack CPUs vertically")
+		showMap = flag.Bool("map", false, "custom run: print per-layer heat maps")
+	)
+	flag.Parse()
+
+	if *layers == 0 {
+		printTable3()
+		return
+	}
+
+	cfg := nim.DefaultConfig(nim.CMPDNUCA3D)
+	if *layers == 1 {
+		cfg = nim.DefaultConfig(nim.CMPDNUCA2D)
+	} else {
+		cfg.Layers = *layers
+	}
+	cfg.NumPillars = *pillars
+	cfg.OffsetK = *k
+	cfg.StackCPUs = *stack
+	top, err := config.NewTopology(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	prm := thermal.DefaultParams()
+	grid := thermal.NewGrid(top.Dim, prm)
+	for _, c := range top.CPUs {
+		grid.AddPower(c, prm.CPUPowerW)
+	}
+	iters := grid.Solve(20000, 1e-7)
+	p := grid.Profile()
+	fmt.Printf("chip %dx%dx%d, %d CPUs, %.1f W total (%d solver iterations)\n",
+		top.Dim.Width, top.Dim.Height, top.Dim.Layers, len(top.CPUs), grid.TotalPower(), iters)
+	fmt.Printf("peak %.2f C   avg %.2f C   min %.2f C\n", p.PeakC, p.AvgC, p.MinC)
+
+	if *showMap {
+		printMaps(grid, top)
+	}
+}
+
+func printTable3() {
+	rows, err := nim.ThermalTable3()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-24s %18s %18s %18s\n", "Configuration", "Peak C (paper)", "Avg C (paper)", "Min C (paper)")
+	for _, r := range rows {
+		fmt.Printf("%-24s %8.2f (%7.2f) %8.2f (%7.2f) %8.2f (%7.2f)\n",
+			r.Name, r.Profile.PeakC, r.PaperPeakC, r.Profile.AvgC, r.PaperAvgC, r.Profile.MinC, r.PaperMinC)
+	}
+}
+
+// shades maps normalized temperature to ASCII density.
+var shades = []byte(" .:-=+*#%@")
+
+func printMaps(grid *thermal.Grid, top *config.Topology) {
+	p := grid.Profile()
+	span := p.PeakC - p.MinC
+	if span <= 0 {
+		span = 1
+	}
+	cpuAt := map[geom.Coord]bool{}
+	for _, c := range top.CPUs {
+		cpuAt[c] = true
+	}
+	for l := 0; l < top.Dim.Layers; l++ {
+		fmt.Printf("\nlayer %d (C = CPU):\n", l)
+		for y := 0; y < top.Dim.Height; y++ {
+			for x := 0; x < top.Dim.Width; x++ {
+				c := geom.Coord{X: x, Y: y, Layer: l}
+				if cpuAt[c] {
+					fmt.Print("C")
+					continue
+				}
+				t := grid.Temp(c)
+				idx := int((t - p.MinC) / span * float64(len(shades)-1))
+				if idx < 0 {
+					idx = 0
+				}
+				if idx >= len(shades) {
+					idx = len(shades) - 1
+				}
+				fmt.Print(string(shades[idx]))
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "thermal3d:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,303 @@
+package nim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/thermal"
+)
+
+// Options controls an experiment run. The defaults balance statistical
+// stability against wall-clock time; raise MeasureCycles for smoother
+// curves.
+type Options struct {
+	// WarmCycles settles the warmed caches (migration counters, in-flight
+	// traffic) before measurement begins.
+	WarmCycles uint64
+	// MeasureCycles is the statistics window (the paper uses 2B cycles on
+	// its native-speed simulator; the shapes stabilize far earlier).
+	MeasureCycles uint64
+	// Seed makes every run deterministic.
+	Seed uint64
+}
+
+// DefaultOptions returns the standard experiment windows.
+func DefaultOptions() Options {
+	return Options{WarmCycles: 50_000, MeasureCycles: 250_000, Seed: 1}
+}
+
+// runConfigured executes one warmed, settled, measured simulation.
+func runConfigured(cfg Config, benchName string, opt Options) (Results, error) {
+	bench, ok := BenchmarkByName(benchName, cfg.NumCPUs)
+	if !ok {
+		return Results{}, fmt.Errorf("nim: unknown benchmark %q", benchName)
+	}
+	sim, err := NewSimulation(cfg, bench, opt.Seed)
+	if err != nil {
+		return Results{}, err
+	}
+	sim.Warm()
+	sim.Start()
+	sim.Run(opt.WarmCycles)
+	sim.ResetStats()
+	sim.Run(opt.MeasureCycles)
+	return sim.Results(), nil
+}
+
+// RunScheme measures one scheme on one benchmark at Table 4 defaults.
+// One call provides the data for Figures 13 (AvgL2HitLatency), 14
+// (Migrations), and 15 (IPC).
+func RunScheme(s Scheme, benchName string, opt Options) (Results, error) {
+	return runConfigured(DefaultConfig(s), benchName, opt)
+}
+
+// RunAllSchemes measures all four schemes on one benchmark.
+func RunAllSchemes(benchName string, opt Options) (map[Scheme]Results, error) {
+	out := make(map[Scheme]Results, 4)
+	for _, s := range Schemes() {
+		r, err := RunScheme(s, benchName, opt)
+		if err != nil {
+			return nil, err
+		}
+		out[s] = r
+	}
+	return out, nil
+}
+
+// RunWithL2Size measures a scheme with the L2 scaled to 16, 32 or 64 MB by
+// growing each cluster (Figure 16).
+func RunWithL2Size(s Scheme, benchName string, megabytes int, opt Options) (Results, error) {
+	cfg, err := DefaultConfig(s).WithL2Size(megabytes)
+	if err != nil {
+		return Results{}, err
+	}
+	return runConfigured(cfg, benchName, opt)
+}
+
+// RunWithPillars measures CMP-DNUCA-3D with a reduced pillar count — the
+// paper's proxy for lower inter-layer via density (Figure 17). With fewer
+// pillars than CPUs, processors share pillars via placement Algorithm 1.
+func RunWithPillars(benchName string, pillars int, opt Options) (Results, error) {
+	cfg := DefaultConfig(CMPDNUCA3D)
+	cfg.NumPillars = pillars
+	return runConfigured(cfg, benchName, opt)
+}
+
+// RunWithLayers measures CMP-SNUCA-3D with the given layer count
+// (Figure 18 compares 2 and 4 layers).
+func RunWithLayers(benchName string, layers int, opt Options) (Results, error) {
+	cfg := DefaultConfig(CMPSNUCA3D)
+	cfg.Layers = layers
+	return runConfigured(cfg, benchName, opt)
+}
+
+// Aggregate summarizes repeated measurements of one metric.
+type Aggregate struct {
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+	N      int
+}
+
+func aggregate(vals []float64) Aggregate {
+	a := Aggregate{N: len(vals)}
+	if a.N == 0 {
+		return a
+	}
+	a.Min, a.Max = vals[0], vals[0]
+	for _, v := range vals {
+		a.Mean += v
+		if v < a.Min {
+			a.Min = v
+		}
+		if v > a.Max {
+			a.Max = v
+		}
+	}
+	a.Mean /= float64(a.N)
+	for _, v := range vals {
+		a.StdDev += (v - a.Mean) * (v - a.Mean)
+	}
+	a.StdDev = math.Sqrt(a.StdDev / float64(a.N))
+	return a
+}
+
+// RepeatedResults carries per-seed results and cross-seed aggregates of the
+// three paper metrics.
+type RepeatedResults struct {
+	Latency    Aggregate
+	IPC        Aggregate
+	Migrations Aggregate
+	Runs       []Results
+}
+
+// RunSchemeRepeated runs one scheme/benchmark across several seeds and
+// aggregates, for reporting confidence alongside the point estimates.
+func RunSchemeRepeated(s Scheme, benchName string, opt Options, seeds int) (RepeatedResults, error) {
+	var out RepeatedResults
+	var lat, ipc, mig []float64
+	for i := 0; i < seeds; i++ {
+		o := opt
+		o.Seed = opt.Seed + uint64(i)
+		r, err := RunScheme(s, benchName, o)
+		if err != nil {
+			return out, err
+		}
+		out.Runs = append(out.Runs, r)
+		lat = append(lat, r.AvgL2HitLatency)
+		ipc = append(ipc, r.IPC)
+		mig = append(mig, float64(r.Migrations))
+	}
+	out.Latency = aggregate(lat)
+	out.IPC = aggregate(ipc)
+	out.Migrations = aggregate(mig)
+	return out, nil
+}
+
+// CPUCountSweep measures a scheme across processor counts (one pillar per
+// CPU, as in the paper's placement), exploring the scaling direction the
+// paper's conclusion points at.
+func CPUCountSweep(s Scheme, benchName string, counts []int, opt Options) ([]Results, error) {
+	out := make([]Results, 0, len(counts))
+	for _, n := range counts {
+		cfg := DefaultConfig(s)
+		cfg.NumCPUs = n
+		cfg.NumPillars = n
+		r, err := runConfigured(cfg, benchName, opt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Table3 reproduces the thermal table: peak/average/minimum temperature
+// for each CPU placement configuration, next to the paper's values.
+type Table3Row = thermal.Table3Row
+
+// ThermalTable3 runs the calibrated thermal model over the seven Table 3
+// configurations.
+func ThermalTable3() ([]Table3Row, error) {
+	return thermal.Table3(thermal.DefaultParams())
+}
+
+// StackedVsOffset compares network performance of stacked versus offset CPU
+// placement under CMP-DNUCA-3D (the congestion argument of Section 3.3,
+// complementing Table 3's thermal argument).
+func StackedVsOffset(benchName string, opt Options) (offset, stacked Results, err error) {
+	offCfg := DefaultConfig(CMPDNUCA3D)
+	if offset, err = runConfigured(offCfg, benchName, opt); err != nil {
+		return
+	}
+	stCfg := DefaultConfig(CMPDNUCA3D)
+	stCfg.StackCPUs = true
+	stacked, err = runConfigured(stCfg, benchName, opt)
+	return
+}
+
+// VerticalAblation compares the paper's dTDMA bus pillars against the
+// rejected 7-port-router vertical interconnect on a CMP-SNUCA-3D chip with
+// the given layer count. The paper argues the bus wins below nine layers:
+// single-hop traversal beats hop-by-hop router traversal, and pillar
+// routers keep one extra port instead of two.
+func VerticalAblation(benchName string, layers int, opt Options) (bus, router Results, err error) {
+	busCfg := DefaultConfig(CMPSNUCA3D)
+	busCfg.Layers = layers
+	if bus, err = runConfigured(busCfg, benchName, opt); err != nil {
+		return
+	}
+	nocCfg := DefaultConfig(CMPSNUCA3D)
+	nocCfg.Layers = layers
+	nocCfg.VerticalNoC = true
+	router, err = runConfigured(nocCfg, benchName, opt)
+	return
+}
+
+// ReplicationAblation compares plain CMP-SNUCA-3D against SNUCA-3D with
+// victim replication (the replication-based management alternative of
+// Section 2.1): remote read hits leave read-only replicas in the reader's
+// local cluster, trading L2 capacity and invalidation traffic for locality.
+func ReplicationAblation(benchName string, opt Options) (plain, replicated Results, err error) {
+	p := DefaultConfig(CMPSNUCA3D)
+	if plain, err = runConfigured(p, benchName, opt); err != nil {
+		return
+	}
+	vr := DefaultConfig(CMPSNUCA3D)
+	vr.VictimReplication = true
+	replicated, err = runConfigured(vr, benchName, opt)
+	return
+}
+
+// RouterPipelineAblation compares the paper's single-stage (1-cycle)
+// routers against the basic four-stage pipeline (Section 3.2) under
+// CMP-DNUCA-3D: every hop costs three extra cycles, which multiplies
+// across search probes and data trips.
+func RouterPipelineAblation(benchName string, opt Options) (singleStage, fourStage Results, err error) {
+	one := DefaultConfig(CMPDNUCA3D)
+	if singleStage, err = runConfigured(one, benchName, opt); err != nil {
+		return
+	}
+	four := DefaultConfig(CMPDNUCA3D)
+	four.RouterPipeline = 4
+	fourStage, err = runConfigured(four, benchName, opt)
+	return
+}
+
+// SearchPolicyAblation compares the paper's two-step search against a
+// single-step broadcast to all clusters under CMP-DNUCA-3D: the broadcast
+// finds remote lines one round-trip earlier but multiplies probe traffic.
+func SearchPolicyAblation(benchName string, opt Options) (twoStep, broadcast Results, err error) {
+	ts := DefaultConfig(CMPDNUCA3D)
+	if twoStep, err = runConfigured(ts, benchName, opt); err != nil {
+		return
+	}
+	bc := DefaultConfig(CMPDNUCA3D)
+	bc.BroadcastSearch = true
+	broadcast, err = runConfigured(bc, benchName, opt)
+	return
+}
+
+// TagPortAblation compares idealized (unlimited-port) cluster tag arrays
+// against single-ported ones under CMP-SNUCA-3D, where every access hits
+// one home tag array and hot homes contend.
+func TagPortAblation(benchName string, opt Options) (ideal, singlePort Results, err error) {
+	i := DefaultConfig(CMPSNUCA3D)
+	if ideal, err = runConfigured(i, benchName, opt); err != nil {
+		return
+	}
+	sp := DefaultConfig(CMPSNUCA3D)
+	sp.TagPorts = 1
+	singlePort, err = runConfigured(sp, benchName, opt)
+	return
+}
+
+// MigrationThresholdSweep measures CMP-DNUCA-3D across migration
+// thresholds (ablation of the design choice in Section 4.2.3).
+func MigrationThresholdSweep(benchName string, thresholds []int, opt Options) ([]Results, error) {
+	out := make([]Results, 0, len(thresholds))
+	for _, th := range thresholds {
+		cfg := DefaultConfig(CMPDNUCA3D)
+		cfg.MigrationThreshold = th
+		r, err := runConfigured(cfg, benchName, opt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ClusterSkipAblation measures CMP-DNUCA-3D with and without the policy of
+// skipping processor-owned clusters during intra-layer migration.
+func ClusterSkipAblation(benchName string, opt Options) (withSkip, withoutSkip Results, err error) {
+	on := DefaultConfig(CMPDNUCA3D)
+	if withSkip, err = runConfigured(on, benchName, opt); err != nil {
+		return
+	}
+	off := DefaultConfig(CMPDNUCA3D)
+	off.SkipCPUClusters = false
+	withoutSkip, err = runConfigured(off, benchName, opt)
+	return
+}

@@ -1,0 +1,284 @@
+// Package cache provides the storage structures of the memory hierarchy:
+// set-associative banks with tree pseudo-LRU replacement, the address
+// mapping of the clustered NUCA L2 (Section 4.2.2 of the paper), and the
+// line metadata the management policies operate on (migration counters,
+// lazy-migration marks, and the co-located L1 directory state).
+package cache
+
+import "fmt"
+
+// LineAddr is a cache-line address: the byte address divided by the line
+// size. All of the memory system works in line addresses.
+type LineAddr uint64
+
+// Geometry describes the clustered L2 organization. The default (Table 4)
+// is 16 clusters x 16 banks x 64 sets x 16 ways x 64-byte lines = 16 MB.
+type Geometry struct {
+	Clusters        int // number of clusters (each with its own tag array)
+	BanksPerCluster int // banks per cluster
+	SetsPerBank     int // sets in one bank
+	Ways            int // associativity
+	LineBytes       int // line size in bytes
+}
+
+// DefaultGeometry returns the paper's Table 4 configuration:
+// 16 MB = 256 x 64 KB banks, 16-way, 64 B lines, 16 clusters of 16 banks.
+func DefaultGeometry() Geometry {
+	return Geometry{
+		Clusters:        16,
+		BanksPerCluster: 16,
+		SetsPerBank:     64,
+		Ways:            16,
+		LineBytes:       64,
+	}
+}
+
+// Validate checks that every field is a positive power of two (the address
+// mapping uses bit slicing).
+func (g Geometry) Validate() error {
+	check := func(name string, v int) error {
+		if v < 1 || v&(v-1) != 0 {
+			return fmt.Errorf("cache: %s = %d must be a positive power of two", name, v)
+		}
+		return nil
+	}
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"Clusters", g.Clusters},
+		{"BanksPerCluster", g.BanksPerCluster},
+		{"SetsPerBank", g.SetsPerBank},
+		{"Ways", g.Ways},
+		{"LineBytes", g.LineBytes},
+	} {
+		if err := check(f.name, f.v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TotalBytes returns the aggregate L2 capacity.
+func (g Geometry) TotalBytes() int {
+	return g.Clusters * g.BanksPerCluster * g.SetsPerBank * g.Ways * g.LineBytes
+}
+
+// TotalBanks returns the number of banks in the whole L2.
+func (g Geometry) TotalBanks() int { return g.Clusters * g.BanksPerCluster }
+
+// BankBytes returns the capacity of one bank.
+func (g Geometry) BankBytes() int { return g.SetsPerBank * g.Ways * g.LineBytes }
+
+func log2(v int) uint {
+	var n uint
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Place decomposes a line address per the paper's placement policy:
+// the low-order bits of the cache index pick the bank within the cluster,
+// the remaining index bits pick the set within the bank, and the low-order
+// bits of the cache tag pick the *initial* (home) cluster. Migration later
+// moves a line between clusters, but bank-in-cluster and set are fixed
+// functions of the address, so a line occupies the same slot shape in any
+// cluster it visits.
+type Place struct {
+	HomeCluster int    // initial cluster (low tag bits)
+	Bank        int    // bank within any cluster
+	Set         int    // set within that bank
+	Tag         uint64 // remaining address bits, stored in the tag array
+}
+
+// PlaceOf maps a line address to its placement.
+func (g Geometry) PlaceOf(a LineAddr) Place {
+	bankBits := log2(g.BanksPerCluster)
+	setBits := log2(g.SetsPerBank)
+	clusterMask := uint64(g.Clusters - 1)
+	idx := uint64(a) & ((1 << (bankBits + setBits)) - 1)
+	tag := uint64(a) >> (bankBits + setBits)
+	return Place{
+		HomeCluster: int(tag & clusterMask),
+		Bank:        int(idx & uint64(g.BanksPerCluster-1)),
+		Set:         int(idx >> bankBits),
+		Tag:         tag,
+	}
+}
+
+// LineOf reconstructs a line address from a placement (inverse of PlaceOf).
+func (g Geometry) LineOf(p Place) LineAddr {
+	bankBits := log2(g.BanksPerCluster)
+	setBits := log2(g.SetsPerBank)
+	idx := uint64(p.Set)<<bankBits | uint64(p.Bank)
+	return LineAddr(p.Tag<<(bankBits+setBits) | idx)
+}
+
+// Entry is one cache line's metadata. Directory state for the L1 coherence
+// protocol (Sharers) is co-located with the tag entry, and the migration
+// policy's saturating access counter lives here too.
+type Entry struct {
+	Tag   uint64
+	Valid bool
+	Dirty bool
+	// Migrating marks a line being lazily migrated: it remains hittable at
+	// its old location until the new location acknowledges (Section 4.2.3).
+	Migrating bool
+	// Replica marks a read-only copy created by the victim-replication
+	// extension; the authoritative copy lives in another cluster.
+	Replica bool
+	// Sharers is the bitmask of CPUs holding the line in their L1.
+	Sharers uint16
+	// Hits is the migration policy's saturating access counter.
+	Hits uint8
+	// LastCPU is the CPU that last hit this line (-1 if none): consecutive
+	// hits by the same remote CPU drive migration toward it.
+	LastCPU int8
+}
+
+// Set is one associative set with tree pseudo-LRU replacement.
+type Set struct {
+	ways []Entry
+	plru plruTree
+}
+
+// newSet builds a set with the given associativity (power of two).
+func newSet(ways int) Set {
+	return Set{ways: make([]Entry, ways), plru: newPLRU(ways)}
+}
+
+// Ways returns the associativity.
+func (s *Set) Ways() int { return len(s.ways) }
+
+// Way returns the entry in the given way for inspection or mutation.
+func (s *Set) Way(i int) *Entry { return &s.ways[i] }
+
+// Lookup finds a valid entry with the given tag, returning its way.
+func (s *Set) Lookup(tag uint64) (way int, ok bool) {
+	for i := range s.ways {
+		if s.ways[i].Valid && s.ways[i].Tag == tag {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Touch marks the way most-recently-used.
+func (s *Set) Touch(way int) { s.plru.touch(way) }
+
+// Victim returns the way to evict: an invalid way if one exists, otherwise
+// the pseudo-LRU choice.
+func (s *Set) Victim() int {
+	for i := range s.ways {
+		if !s.ways[i].Valid {
+			return i
+		}
+	}
+	return s.plru.victim()
+}
+
+// Insert places a tag into the set, evicting the victim way if it was
+// valid. It returns the way used and the displaced entry (ok reports
+// whether a valid entry was evicted). The new entry starts clean with no
+// sharers and is marked most-recently-used.
+func (s *Set) Insert(tag uint64) (way int, evicted Entry, ok bool) {
+	way = s.Victim()
+	evicted, ok = s.ways[way], s.ways[way].Valid
+	s.ways[way] = Entry{Tag: tag, Valid: true, LastCPU: -1}
+	s.plru.touch(way)
+	return way, evicted, ok
+}
+
+// InsertFree places a tag into an invalid way without evicting anything,
+// reporting failure when the set is full. Cache warm-up uses it to build a
+// steady state without displacing already-placed lines.
+func (s *Set) InsertFree(tag uint64) (way int, ok bool) {
+	for i := range s.ways {
+		if !s.ways[i].Valid {
+			s.ways[i] = Entry{Tag: tag, Valid: true, LastCPU: -1}
+			s.plru.touch(i)
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// InsertReplica places a read-only replica into the set, displacing only an
+// invalid way or another replica — never an authoritative line (the
+// victim-replication capacity rule). It reports failure when every way
+// holds a non-replica line, and returns any displaced replica so its
+// bookkeeping can be cleaned up.
+func (s *Set) InsertReplica(tag uint64) (way int, displaced Entry, hadDisplaced, ok bool) {
+	victim := -1
+	for i := range s.ways {
+		if !s.ways[i].Valid {
+			victim = i
+			break
+		}
+		if s.ways[i].Replica && victim < 0 {
+			victim = i
+		}
+	}
+	if victim < 0 {
+		return 0, Entry{}, false, false
+	}
+	displaced, hadDisplaced = s.ways[victim], s.ways[victim].Valid
+	s.ways[victim] = Entry{Tag: tag, Valid: true, Replica: true, LastCPU: -1}
+	s.plru.touch(victim)
+	return victim, displaced, hadDisplaced, true
+}
+
+// Invalidate clears the entry holding tag, reporting whether it was found.
+func (s *Set) Invalidate(tag uint64) bool {
+	if way, ok := s.Lookup(tag); ok {
+		s.ways[way] = Entry{}
+		return true
+	}
+	return false
+}
+
+// ValidCount returns the number of valid entries.
+func (s *Set) ValidCount() int {
+	n := 0
+	for i := range s.ways {
+		if s.ways[i].Valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Bank is one L2 cache bank: an array of sets. Access timing (the 5-cycle
+// bank access of Table 4) is charged by the L2 controller, not here.
+type Bank struct {
+	sets []Set
+	// Reads and Writes count accesses for the dynamic-power model.
+	Reads  uint64
+	Writes uint64
+}
+
+// NewBank builds a bank with the given set count and associativity.
+func NewBank(sets, ways int) *Bank {
+	b := &Bank{sets: make([]Set, sets)}
+	for i := range b.sets {
+		b.sets[i] = newSet(ways)
+	}
+	return b
+}
+
+// Set returns set i.
+func (b *Bank) Set(i int) *Set { return &b.sets[i] }
+
+// NumSets returns the number of sets.
+func (b *Bank) NumSets() int { return len(b.sets) }
+
+// ValidLines counts valid entries across the bank.
+func (b *Bank) ValidLines() int {
+	n := 0
+	for i := range b.sets {
+		n += b.sets[i].ValidCount()
+	}
+	return n
+}

@@ -1,0 +1,58 @@
+package cache
+
+// plruTree is a binary-tree pseudo-LRU replacement policy for a power-of-two
+// number of ways, the policy the paper's L2 uses (Section 4.2.2). Each
+// internal node holds one bit pointing toward the less recently used half;
+// touching a way flips the bits along its path to point away from it.
+type plruTree struct {
+	ways int
+	bits []bool // ways-1 internal nodes, heap order, root at index 0
+}
+
+func newPLRU(ways int) plruTree {
+	if ways < 1 || ways&(ways-1) != 0 {
+		panic("cache: pLRU ways must be a positive power of two")
+	}
+	return plruTree{ways: ways, bits: make([]bool, ways-1)}
+}
+
+// touch marks a way most-recently-used.
+func (t *plruTree) touch(way int) {
+	if t.ways == 1 {
+		return
+	}
+	node := 0
+	lo, hi := 0, t.ways
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if way < mid {
+			t.bits[node] = true // LRU half is the right side
+			node = 2*node + 1
+			hi = mid
+		} else {
+			t.bits[node] = false // LRU half is the left side
+			node = 2*node + 2
+			lo = mid
+		}
+	}
+}
+
+// victim returns the pseudo-least-recently-used way.
+func (t *plruTree) victim() int {
+	if t.ways == 1 {
+		return 0
+	}
+	node := 0
+	lo, hi := 0, t.ways
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if t.bits[node] {
+			node = 2*node + 2 // right half is LRU
+			lo = mid
+		} else {
+			node = 2*node + 1 // left half is LRU
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"repro/internal/cache"
+	"repro/internal/geom"
+)
+
+// Cluster is one L2 cluster: a tile of banks, the cluster's tag array, the
+// co-located directory slice, and the controller logic block (Section 4.1).
+// The controller sits at the tile's central node; banks occupy the tile.
+// Tag lookups cost TagCycles and bank accesses BankCycles (Table 4);
+// network distance to and from the banks is paid in real packet hops.
+type Cluster struct {
+	id     int
+	sys    *System
+	banks  []*cache.Bank
+	center geom.Coord
+
+	// portFree holds, per tag-array port, the cycle the port becomes
+	// available; empty when lookups are unlimited (Config.TagPorts == 0).
+	portFree []uint64
+
+	// TagLookups counts tag-array activations (for the power model);
+	// TagPortWait accumulates cycles probes spent waiting for a port.
+	TagLookups  uint64
+	TagPortWait uint64
+}
+
+func newCluster(id int, sys *System) *Cluster {
+	g := sys.Cfg.L2
+	cl := &Cluster{
+		id:     id,
+		sys:    sys,
+		banks:  make([]*cache.Bank, g.BanksPerCluster),
+		center: sys.Top.ClusterCenter(id),
+	}
+	for i := range cl.banks {
+		cl.banks[i] = cache.NewBank(g.SetsPerBank, g.Ways)
+	}
+	if sys.Cfg.TagPorts > 0 {
+		cl.portFree = make([]uint64, sys.Cfg.TagPorts)
+	}
+	return cl
+}
+
+// tagDelay returns how long a lookup arriving now must wait before its
+// TagCycles access completes, claiming a tag-array port when they are
+// bounded.
+func (cl *Cluster) tagDelay() uint64 {
+	lat := uint64(cl.sys.Cfg.TagCycles)
+	if cl.portFree == nil {
+		return lat
+	}
+	now := cl.sys.Engine.Now()
+	best := 0
+	for i := 1; i < len(cl.portFree); i++ {
+		if cl.portFree[i] < cl.portFree[best] {
+			best = i
+		}
+	}
+	start := now
+	if cl.portFree[best] > now {
+		start = cl.portFree[best]
+		cl.TagPortWait += start - now
+	}
+	cl.portFree[best] = start + lat
+	return start - now + lat
+}
+
+// set returns the associative set a line maps to within this cluster.
+func (cl *Cluster) set(p cache.Place) *cache.Set {
+	return cl.banks[p.Bank].Set(p.Set)
+}
+
+// handle dispatches a cluster-addressed message that arrived over the
+// network.
+func (cl *Cluster) handle(m *Msg) {
+	switch m.Kind {
+	case msgProbeRead, msgProbeExcl:
+		// Tag array lookup latency (plus any wait for a port), then service.
+		cl.sys.Engine.After(cl.tagDelay(), func() { cl.serve(m, false) })
+	case msgMigData:
+		cl.sys.Engine.After(uint64(cl.sys.Cfg.L2BankCycles), func() { cl.finishMigration(m) })
+	case msgMigInval:
+		cl.sys.Engine.After(uint64(cl.sys.Cfg.TagCycles), func() { cl.retireOldCopy(m) })
+	case msgReplData:
+		cl.sys.Engine.After(uint64(cl.sys.Cfg.L2BankCycles), func() { cl.installReplica(m) })
+	case msgReplInval:
+		cl.sys.Engine.After(uint64(cl.sys.Cfg.TagCycles), func() { cl.dropReplica(m) })
+	case msgInvalAck:
+		cl.sys.M.InvalAcks.Inc()
+	default:
+		panic("core: cluster received " + m.Kind.String())
+	}
+}
+
+// serveDirect performs the local-processor path: the cluster's tag array
+// has a direct connection to its local CPU (Section 4.1), so the lookup
+// costs TagCycles with no network traversal; only the data reply (from the
+// bank) rides the network.
+func (cl *Cluster) serveDirect(m *Msg) {
+	cl.sys.Engine.After(cl.tagDelay(), func() { cl.serve(m, true) })
+}
+
+// serve performs the tag lookup and, on a hit, the directory actions, the
+// migration-policy update, and the data reply. On a miss a nack returns to
+// the requester (directly for the local tag array, over the network
+// otherwise).
+func (cl *Cluster) serve(m *Msg, direct bool) {
+	s := cl.sys
+	cl.TagLookups++
+	p := s.Cfg.L2.PlaceOf(m.Addr)
+	set := cl.set(p)
+	way, ok := set.Lookup(p.Tag)
+	if !ok {
+		if direct {
+			s.nack(m.Txn)
+		} else {
+			s.send(cl.center, &Msg{Kind: msgNack, Txn: m.Txn, CPU: m.CPU, Cluster: cl.id, Addr: m.Addr})
+		}
+		return
+	}
+
+	e := set.Way(way)
+	set.Touch(way)
+	bank := cl.banks[p.Bank]
+	if m.Kind == msgProbeExcl {
+		if e.Replica {
+			// Replicas are read-only: drop this copy and report a miss;
+			// the authoritative copy grants ownership.
+			s.replicas[m.Addr] &^= 1 << uint(cl.id)
+			s.cleanReplicaMask(m.Addr)
+			s.dropReplicaL1Sharers(m.Addr, cl, *e)
+			set.Invalidate(p.Tag)
+			if direct {
+				s.nack(m.Txn)
+			} else {
+				s.send(cl.center, &Msg{Kind: msgNack, Txn: m.Txn, CPU: m.CPU, Cluster: cl.id, Addr: m.Addr})
+			}
+			return
+		}
+		bank.Writes++
+		cl.invalidateSharers(e, m.Addr, m.CPU)
+		s.invalidateReplicas(m.Addr, cl.center, -1)
+		e.Sharers = 1 << uint(m.CPU)
+		e.Dirty = true
+	} else {
+		bank.Reads++
+		e.Sharers |= 1 << uint(m.CPU)
+		if e.Replica {
+			s.M.ReplicaHits.Inc()
+		} else {
+			s.maybeReplicate(cl, m.Addr, e, m.CPU)
+		}
+	}
+	if !e.Replica {
+		s.maybeMigrate(cl, m.Addr, p, e, m.CPU)
+	}
+
+	bankNode := s.Top.BankCoord(cl.id, p.Bank)
+	s.Engine.After(uint64(s.Cfg.L2BankCycles), func() {
+		s.send(bankNode, &Msg{Kind: msgData, Txn: m.Txn, CPU: m.CPU, Cluster: cl.id, Addr: m.Addr})
+	})
+}
+
+// invalidateSharers sends directory invalidations to every L1 holding the
+// line except the new owner.
+func (cl *Cluster) invalidateSharers(e *cache.Entry, addr cache.LineAddr, owner int) {
+	for c := range cl.sys.CPUs {
+		if c == owner || e.Sharers&(1<<uint(c)) == 0 {
+			continue
+		}
+		cl.sys.M.Invalidations.Inc()
+		cl.sys.send(cl.center, &Msg{Kind: msgInval, CPU: c, Cluster: cl.id, Addr: addr})
+	}
+}
+
+// lookup reports whether the cluster currently holds the line.
+func (cl *Cluster) lookup(addr cache.LineAddr) bool {
+	p := cl.sys.Cfg.L2.PlaceOf(addr)
+	_, ok := cl.set(p).Lookup(p.Tag)
+	return ok
+}
+
+// install fills a line into this cluster (memory fetch or duplicate-free
+// re-insertion), handling the eviction of the displaced victim: the global
+// location map is updated, L1 sharers of the victim receive
+// back-invalidations, and dirty victims count a memory writeback.
+func (cl *Cluster) install(addr cache.LineAddr, sharers uint16, dirty bool) {
+	s := cl.sys
+	p := s.Cfg.L2.PlaceOf(addr)
+	set := cl.set(p)
+	if way, ok := set.Lookup(p.Tag); ok {
+		// Already present (racing fill, or a replica that now becomes the
+		// authoritative copy): merge directory state and claim primacy.
+		e := set.Way(way)
+		e.Sharers |= sharers
+		e.Dirty = e.Dirty || dirty
+		if e.Replica {
+			e.Replica = false
+			s.replicas[addr] &^= 1 << uint(cl.id)
+			s.cleanReplicaMask(addr)
+		}
+		s.lineLoc[addr] = cl.id
+		return
+	}
+	way, victim, evicted := set.Insert(p.Tag)
+	if evicted {
+		cl.evict(p, victim)
+	}
+	e := set.Way(way)
+	e.Sharers = sharers
+	e.Dirty = dirty
+	cl.banks[p.Bank].Writes++
+	s.lineLoc[addr] = cl.id
+}
+
+// evict completes the removal of a victim entry: location map cleanup,
+// back-invalidation of L1 sharers, and the dirty writeback count.
+func (cl *Cluster) evict(p cache.Place, victim cache.Entry) {
+	s := cl.sys
+	s.M.Evictions.Inc()
+	victimAddr := s.Cfg.L2.LineOf(cache.Place{Bank: p.Bank, Set: p.Set, Tag: victim.Tag})
+	if victim.Replica {
+		s.dropReplicaState(victimAddr, cl.id, victim)
+		return
+	}
+	if loc, ok := s.lineLoc[victimAddr]; ok && loc == cl.id {
+		delete(s.lineLoc, victimAddr)
+	}
+	if victim.Dirty {
+		s.M.MemWrites.Inc()
+	}
+	for c := range s.CPUs {
+		if victim.Sharers&(1<<uint(c)) == 0 {
+			continue
+		}
+		s.M.BackInvals.Inc()
+		s.send(cl.center, &Msg{Kind: msgInval, CPU: c, Cluster: cl.id, Addr: victimAddr})
+	}
+}
+
+// finishMigration installs an arriving migrated line and retires the old
+// copy (lazy migration: the old cluster stays hittable until the MigInval
+// lands there).
+func (cl *Cluster) finishMigration(m *Msg) {
+	s := cl.sys
+	cl.install(m.Addr, m.Sharers, m.Dirty)
+	s.send(cl.center, &Msg{
+		Kind: msgMigInval, Cluster: m.Origin, Addr: m.Addr, ToCluster: true,
+	})
+}
+
+// retireOldCopy drops the stale copy left behind by a completed migration.
+func (cl *Cluster) retireOldCopy(m *Msg) {
+	p := cl.sys.Cfg.L2.PlaceOf(m.Addr)
+	cl.set(p).Invalidate(p.Tag)
+}
+

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"repro/internal/cache"
+	"repro/internal/geom"
+	"repro/internal/trace"
+)
+
+// storeBufferSlots bounds outstanding stores per core. An in-order core
+// retires stores through a small write buffer; when it fills, the core
+// stalls until an exclusive transaction completes.
+const storeBufferSlots = 8
+
+// CPU is one in-order, single-issue core (Table 4) with its private
+// write-through L1, driven by a deterministic reference stream. Loads block
+// the core; stores retire through the store buffer and complete in the
+// background via exclusive L2 transactions.
+type CPU struct {
+	sys     *System
+	id      int
+	pos     geom.Coord
+	cluster int
+	l1      *l1 // data cache
+	l1i     *l1 // instruction cache (the paper's split I/D L1)
+	gen     trace.Stream
+
+	instrs       uint64
+	loads        uint64
+	stores       uint64
+	ifetches     uint64
+	ifetchMisses uint64
+	storeCredits int
+	blockedStore *trace.Ref
+	stalledRef   *trace.Ref // reference waiting behind an ifetch miss
+
+	running bool
+}
+
+func newCPU(sys *System, id int, gen trace.Stream) *CPU {
+	pos := sys.Top.CPUs[id]
+	return &CPU{
+		sys:          sys,
+		id:           id,
+		pos:          pos,
+		cluster:      sys.Top.ClusterOf(pos),
+		l1:           newL1(sys.Cfg.L1Sets, sys.Cfg.L1Ways),
+		l1i:          newL1(sys.Cfg.L1Sets, sys.Cfg.L1Ways),
+		gen:          gen,
+		storeCredits: storeBufferSlots,
+	}
+}
+
+// start begins execution; the stagger desynchronizes the cores slightly, as
+// real cores never tick in lockstep.
+func (c *CPU) start() {
+	c.running = true
+	c.sys.Engine.After(uint64(1+c.id), c.step)
+}
+
+// step fetches the next reference, executes its leading non-memory
+// instructions (one per cycle at issue width 1), then performs the access.
+func (c *CPU) step() {
+	if !c.running {
+		return
+	}
+	ref := c.gen.Next()
+	c.instrs += uint64(ref.Gap)
+	if ref.Gap == 0 {
+		c.access(ref)
+		return
+	}
+	c.sys.Engine.After(uint64(ref.Gap), func() { c.access(ref) })
+}
+
+func (c *CPU) access(ref trace.Ref) {
+	c.instrs++
+	if ref.HasCode {
+		c.ifetches++
+		if hit, _ := c.l1i.lookup(ref.Code); !hit {
+			// An instruction-cache miss stalls the in-order front end; the
+			// data access resumes when the code line returns.
+			c.ifetchMisses++
+			r := ref
+			c.stalledRef = &r
+			c.sys.Engine.After(uint64(c.sys.Cfg.L1HitCycles), func() {
+				c.sys.startIfetch(c, ref.Code)
+			})
+			return
+		}
+	}
+	c.dataAccess(ref)
+}
+
+// ifetchDone fills the instruction cache and resumes the stalled reference.
+func (c *CPU) ifetchDone(code cache.LineAddr) {
+	c.l1i.install(code, false)
+	if c.stalledRef == nil {
+		return
+	}
+	ref := *c.stalledRef
+	c.stalledRef = nil
+	c.sys.Engine.After(1, func() { c.dataAccess(ref) })
+}
+
+func (c *CPU) dataAccess(ref trace.Ref) {
+	if ref.Write {
+		c.store(ref)
+	} else {
+		c.load(ref)
+	}
+}
+
+// load performs a blocking read: an L1 hit costs L1HitCycles; a miss issues
+// an L2 read transaction and stalls the core until the data returns.
+func (c *CPU) load(ref trace.Ref) {
+	c.loads++
+	if hit, _ := c.l1.lookup(ref.Addr); hit {
+		c.sys.Engine.After(uint64(c.sys.Cfg.L1HitCycles), c.step)
+		return
+	}
+	c.sys.Engine.After(uint64(c.sys.Cfg.L1HitCycles), func() {
+		c.sys.startTxn(c, ref.Addr, false)
+	})
+}
+
+// store performs a write-through store. A hit on a Modified line retires
+// immediately; a hit on a Shared line needs an ownership upgrade; a miss is
+// a read-for-ownership. Upgrades and RFOs run in the background through the
+// store buffer; a full buffer stalls the core.
+func (c *CPU) store(ref trace.Ref) {
+	c.stores++
+	hit, modified := c.l1.lookup(ref.Addr)
+	if hit && modified {
+		c.sys.Engine.After(1, c.step)
+		return
+	}
+	if c.storeCredits == 0 {
+		r := ref
+		c.blockedStore = &r
+		return // resumed by storeDone
+	}
+	c.storeCredits--
+	c.sys.startTxn(c, ref.Addr, true)
+	c.sys.Engine.After(1, c.step)
+}
+
+// loadDone receives the data for a blocking load: fill the L1 Shared and
+// resume execution.
+func (c *CPU) loadDone(addr cache.LineAddr) {
+	c.l1.install(addr, false)
+	c.sys.Engine.After(1, c.step)
+}
+
+// storeDone completes an exclusive transaction: fill Modified, return the
+// store-buffer credit, and unblock a stalled store if one is waiting.
+func (c *CPU) storeDone(addr cache.LineAddr) {
+	c.l1.install(addr, true)
+	c.storeCredits++
+	if c.blockedStore != nil {
+		ref := *c.blockedStore
+		c.blockedStore = nil
+		c.storeCredits--
+		c.sys.startTxn(c, ref.Addr, true)
+		c.sys.Engine.After(1, c.step)
+	}
+}
+
+// handle dispatches a CPU-addressed network message.
+func (c *CPU) handle(m *Msg, cycle uint64) {
+	switch m.Kind {
+	case msgData:
+		c.sys.data(m, cycle)
+	case msgNack:
+		c.sys.nack(m.Txn)
+	case msgInval:
+		c.l1.invalidate(m.Addr)
+		c.sys.send(c.pos, &Msg{Kind: msgInvalAck, Cluster: m.Cluster, CPU: c.id, Addr: m.Addr, ToCluster: true})
+	default:
+		panic("core: CPU received " + m.Kind.String())
+	}
+}

@@ -1,0 +1,22 @@
+// Package core is the paper's primary contribution assembled into a
+// full-system simulator: the 3D Network-in-Memory L2 cache for chip
+// multiprocessors. It binds the cycle-accurate interconnect (internal/noc,
+// internal/dtdma, internal/fabric) to the clustered NUCA L2 (internal/cache)
+// under the management policies of Section 4:
+//
+//   - two-step search (local + neighbor + pillar-broadcast tag probes, then
+//     multicast to the remaining clusters),
+//   - placement by the low-order cache-tag bits,
+//   - pseudo-LRU replacement,
+//   - gradual cache-line migration that skips clusters owned by other
+//     processors intra-layer and migrates toward the accessing CPU's pillar
+//     — never across layers — when the line lives on a different layer,
+//   - lazy migration (the old copy stays hittable until the new location
+//     acknowledges), and
+//   - a directory-based MSI protocol for the private write-through L1s.
+//
+// The System type wires eight in-order cores (or any configured number)
+// driven by internal/trace reference streams through the fabric into the
+// L2, and exposes the measurements the paper reports: average L2 hit
+// latency, migration counts, and IPC.
+package core

@@ -1,0 +1,69 @@
+package core
+
+import "repro/internal/cache"
+
+// l1 is one core's private L1 data cache: 64 KB, 2-way, 64-byte lines,
+// write-through (Table 4). Entries track an MSI-style state: present lines
+// are Shared or Modified (the Entry.Dirty flag doubles as the M bit).
+// Write-through keeps L2 data current, so L1 evictions are always silent.
+type l1 struct {
+	bank *cache.Bank
+	sets int
+
+	Hits, Misses uint64
+}
+
+func newL1(sets, ways int) *l1 {
+	return &l1{bank: cache.NewBank(sets, ways), sets: sets}
+}
+
+func (c *l1) place(a cache.LineAddr) (set int, tag uint64) {
+	return int(uint64(a) % uint64(c.sets)), uint64(a) / uint64(c.sets)
+}
+
+// lookup probes the L1. modified reports M state on a hit. Replacement
+// state is updated on hits.
+func (c *l1) lookup(a cache.LineAddr) (hit, modified bool) {
+	set, tag := c.place(a)
+	s := c.bank.Set(set)
+	way, ok := s.Lookup(tag)
+	if !ok {
+		c.Misses++
+		return false, false
+	}
+	c.Hits++
+	s.Touch(way)
+	return true, s.Way(way).Dirty
+}
+
+// install fills a line in the given state, silently dropping the victim
+// (write-through L1s hold no dirty-only data).
+func (c *l1) install(a cache.LineAddr, modified bool) {
+	set, tag := c.place(a)
+	s := c.bank.Set(set)
+	if way, ok := s.Lookup(tag); ok {
+		e := s.Way(way)
+		e.Dirty = e.Dirty || modified
+		s.Touch(way)
+		return
+	}
+	way, _, _ := s.Insert(tag)
+	s.Way(way).Dirty = modified
+}
+
+// invalidate drops a line if present, reporting whether it was there.
+func (c *l1) invalidate(a cache.LineAddr) bool {
+	set, tag := c.place(a)
+	return c.bank.Set(set).Invalidate(tag)
+}
+
+// upgrade promotes a present line to M, reporting whether it was present.
+func (c *l1) upgrade(a cache.LineAddr) bool {
+	set, tag := c.place(a)
+	s := c.bank.Set(set)
+	if way, ok := s.Lookup(tag); ok {
+		s.Way(way).Dirty = true
+		return true
+	}
+	return false
+}

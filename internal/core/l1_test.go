@@ -1,0 +1,146 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cache"
+)
+
+func TestL1HitMiss(t *testing.T) {
+	c := newL1(512, 2)
+	if hit, _ := c.lookup(100); hit {
+		t.Fatal("hit in empty L1")
+	}
+	c.install(100, false)
+	hit, mod := c.lookup(100)
+	if !hit || mod {
+		t.Fatalf("hit=%v mod=%v, want hit Shared", hit, mod)
+	}
+	c.install(200, true)
+	hit, mod = c.lookup(200)
+	if !hit || !mod {
+		t.Fatalf("hit=%v mod=%v, want hit Modified", hit, mod)
+	}
+}
+
+func TestL1Counters(t *testing.T) {
+	c := newL1(512, 2)
+	c.lookup(1) // miss
+	c.install(1, false)
+	c.lookup(1) // hit
+	c.lookup(2) // miss
+	if c.Hits != 1 || c.Misses != 2 {
+		t.Errorf("hits=%d misses=%d", c.Hits, c.Misses)
+	}
+}
+
+func TestL1Invalidate(t *testing.T) {
+	c := newL1(512, 2)
+	c.install(42, true)
+	if !c.invalidate(42) {
+		t.Fatal("invalidate missed present line")
+	}
+	if hit, _ := c.lookup(42); hit {
+		t.Fatal("line present after invalidate")
+	}
+	if c.invalidate(42) {
+		t.Fatal("invalidate of absent line reported success")
+	}
+}
+
+func TestL1Upgrade(t *testing.T) {
+	c := newL1(512, 2)
+	c.install(7, false)
+	if !c.upgrade(7) {
+		t.Fatal("upgrade failed on present line")
+	}
+	if _, mod := c.lookup(7); !mod {
+		t.Fatal("line not Modified after upgrade")
+	}
+	if c.upgrade(8) {
+		t.Fatal("upgrade of absent line reported success")
+	}
+}
+
+func TestL1ReinstallMergesState(t *testing.T) {
+	c := newL1(512, 2)
+	c.install(5, true)
+	c.install(5, false) // re-install Shared must not demote M
+	if _, mod := c.lookup(5); !mod {
+		t.Error("re-install demoted Modified line")
+	}
+}
+
+func TestL1Conflict(t *testing.T) {
+	// Three lines mapping to the same 2-way set: one must be evicted.
+	c := newL1(512, 2)
+	a := cache.LineAddr(0)
+	b := cache.LineAddr(512)
+	d := cache.LineAddr(1024)
+	c.install(a, false)
+	c.install(b, false)
+	c.install(d, false)
+	present := 0
+	for _, addr := range []cache.LineAddr{a, b, d} {
+		if hit, _ := c.lookup(addr); hit {
+			present++
+		}
+	}
+	if present != 2 {
+		t.Errorf("%d of 3 conflicting lines present, want 2", present)
+	}
+}
+
+func TestL1SetMappingIsModulo(t *testing.T) {
+	f := func(addr uint32) bool {
+		c := newL1(512, 2)
+		set, tag := c.place(cache.LineAddr(addr))
+		if set != int(addr%512) {
+			return false
+		}
+		return tag == uint64(addr)/512
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestL1DistinctAddressesDontAlias(t *testing.T) {
+	// Two addresses with the same set but different tags never alias.
+	c := newL1(512, 2)
+	a := cache.LineAddr(3)
+	b := cache.LineAddr(3 + 512)
+	c.install(a, true)
+	c.install(b, false)
+	if _, mod := c.lookup(b); mod {
+		t.Error("address b aliased to a's Modified state")
+	}
+	if _, mod := c.lookup(a); !mod {
+		t.Error("address a lost its state")
+	}
+}
+
+func TestMsgKindStrings(t *testing.T) {
+	kinds := []msgKind{msgProbeRead, msgProbeExcl, msgNack, msgData,
+		msgInval, msgInvalAck, msgMigData, msgMigInval}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "Unknown" || seen[s] {
+			t.Errorf("kind %d has bad or duplicate name %q", k, s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestMsgFlits(t *testing.T) {
+	if msgData.flits() != 4 || msgMigData.flits() != 4 {
+		t.Error("data messages must be 4 flits (one 64-byte line)")
+	}
+	for _, k := range []msgKind{msgProbeRead, msgProbeExcl, msgNack, msgInval, msgInvalAck, msgMigInval} {
+		if k.flits() != 1 {
+			t.Errorf("%v must be a single flit", k)
+		}
+	}
+}

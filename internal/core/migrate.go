@@ -1,0 +1,116 @@
+package core
+
+import (
+	"repro/internal/cache"
+	"repro/internal/geom"
+)
+
+// maybeMigrate applies the cache-line migration policy of Section 4.2.3
+// after a hit by the given CPU. Lines accessed repeatedly by the same
+// remote CPU take gradual migration steps toward it; intra-layer movement
+// skips clusters owned by other processors; a line on a different layer
+// than its accessor migrates toward the accessor's pillar within its own
+// layer and never crosses layers. Migration is lazy: the old copy remains
+// hittable until the new location acknowledges.
+func (s *System) maybeMigrate(cl *Cluster, addr cache.LineAddr, p cache.Place, e *cache.Entry, cpu int) {
+	if !s.Cfg.Scheme.Migrates() || e.Migrating {
+		return
+	}
+	if int(e.LastCPU) == cpu {
+		if e.Hits < 255 {
+			e.Hits++
+		}
+	} else {
+		e.LastCPU = int8(cpu)
+		e.Hits = 1
+	}
+	if cl.id == s.Top.CPUCluster(cpu) {
+		return // already in the accessor's local cluster
+	}
+	if int(e.Hits) < s.Cfg.MigrationThreshold {
+		return
+	}
+	target := s.migrationTarget(cl.id, cpu)
+	if target < 0 || target == cl.id {
+		return
+	}
+	e.Hits = 0
+	e.Migrating = true
+	s.M.Migrations.Inc()
+	s.send(s.Top.BankCoord(cl.id, p.Bank), &Msg{
+		Kind:      msgMigData,
+		Cluster:   target,
+		Origin:    cl.id,
+		Addr:      addr,
+		Sharers:   e.Sharers,
+		Dirty:     e.Dirty,
+		ToCluster: true,
+	})
+}
+
+// migrationTarget computes the next cluster for one migration step of a
+// line currently in cluster `from`, accessed by `cpu`. It returns -1 when
+// no movement is warranted.
+func (s *System) migrationTarget(from, cpu int) int {
+	t := s.Top
+	var dst int
+	if t.ClusterLayer(from) == t.CPUs[cpu].Layer {
+		// Same layer as the accessor: head for its local cluster.
+		dst = t.CPUCluster(cpu)
+	} else {
+		// Different layer: head for the accessor's pillar on the line's own
+		// layer; the pillar provides single-hop vertical access, so the
+		// line never needs to change layers (Section 4.2.3).
+		pillar := t.PillarOf(t.CPUs[cpu])
+		dst = t.ClusterOf(geom.Coord{X: pillar.X, Y: pillar.Y, Layer: t.ClusterLayer(from)})
+	}
+	if from == dst {
+		return -1
+	}
+	return s.stepToward(from, dst, cpu)
+}
+
+// stepToward walks one migration step through the cluster grid from `from`
+// toward dst (X dimension first), skipping clusters that host processors
+// other than the accessor so their local access patterns are undisturbed.
+// Skipped clusters are stepped over within the same migration, landing the
+// line in the next closest processor-free cluster (or the destination).
+func (s *System) stepToward(from, dst, cpu int) int {
+	cur := from
+	for cur != dst {
+		next := s.clusterStep(cur, dst)
+		if next == dst {
+			return next
+		}
+		if s.Cfg.SkipCPUClusters {
+			if owner := s.clusterCPU[next]; owner >= 0 && owner != cpu {
+				cur = next
+				continue
+			}
+		}
+		return next
+	}
+	return -1
+}
+
+// clusterStep returns the cluster one grid step from cur toward dst within
+// their (shared) layer, moving in X before Y like the network's
+// dimension-order routing.
+func (s *System) clusterStep(cur, dst int) int {
+	t := s.Top
+	per := t.ClustersPerLayer()
+	base := cur - cur%per
+	cx, cy := cur%per%t.ClusterW, cur%per/t.ClusterW
+	dx, dy := dst%per%t.ClusterW, dst%per/t.ClusterW
+	switch {
+	case cx < dx:
+		cx++
+	case cx > dx:
+		cx--
+	case cy < dy:
+		cy++
+	case cy > dy:
+		cy--
+	}
+	return base + cy*t.ClusterW + cx
+}

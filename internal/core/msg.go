@@ -1,0 +1,105 @@
+package core
+
+import (
+	"repro/internal/cache"
+	"repro/internal/noc"
+)
+
+// msgKind enumerates the protocol messages that ride the network.
+type msgKind uint8
+
+const (
+	// msgProbeRead asks a cluster's tag array for a line; a hit returns the
+	// data, a miss returns a nack.
+	msgProbeRead msgKind = iota
+	// msgProbeExcl is a read-for-ownership: on a hit the directory
+	// invalidates every other sharer before returning the data.
+	msgProbeExcl
+	// msgNack reports a tag-array miss back to the requesting CPU.
+	msgNack
+	// msgData carries a cache line to the requesting CPU (4 flits).
+	msgData
+	// msgInval tells a CPU's L1 to drop a line (directory invalidation or
+	// L2 back-invalidation on eviction).
+	msgInval
+	// msgInvalAck acknowledges an invalidation to the directory cluster.
+	msgInvalAck
+	// msgMigData carries a migrating line to its new cluster (4 flits).
+	msgMigData
+	// msgMigInval retires the old copy after a lazy migration completes.
+	msgMigInval
+	// msgMemReq carries an off-chip fetch request to a memory controller
+	// at the chip edge; the DRAM access latency is paid there.
+	msgMemReq
+	// msgReplData carries a read-only replica of a line toward the
+	// requester's local cluster (victim-replication extension, 4 flits).
+	msgReplData
+	// msgReplInval drops a replica when the line is written or refetched.
+	msgReplInval
+)
+
+// String names the message kind.
+func (k msgKind) String() string {
+	switch k {
+	case msgProbeRead:
+		return "ProbeRead"
+	case msgProbeExcl:
+		return "ProbeExcl"
+	case msgNack:
+		return "Nack"
+	case msgData:
+		return "Data"
+	case msgInval:
+		return "Inval"
+	case msgInvalAck:
+		return "InvalAck"
+	case msgMigData:
+		return "MigData"
+	case msgMigInval:
+		return "MigInval"
+	case msgMemReq:
+		return "MemReq"
+	case msgReplData:
+		return "ReplData"
+	case msgReplInval:
+		return "ReplInval"
+	}
+	return "Unknown"
+}
+
+// flits returns the packet length for the message kind: data-bearing
+// messages carry a full 64-byte line (4 flits, Table 4); control messages
+// are a single flit.
+func (k msgKind) flits() int {
+	if k == msgData || k == msgMigData || k == msgReplData {
+		return noc.DataPacketFlits
+	}
+	return noc.ControlPacketFlits
+}
+
+// Msg is the network payload of every protocol packet.
+type Msg struct {
+	Kind msgKind
+	// Txn identifies the transaction a probe/nack/data belongs to.
+	Txn uint64
+	// CPU is the requesting CPU for probes, or the target CPU for
+	// CPU-addressed messages.
+	CPU int
+	// Cluster is the target cluster for cluster-addressed messages and the
+	// responding cluster in replies.
+	Cluster int
+	// Origin is the cluster a migrating line departs from (MigData only).
+	Origin int
+	// Addr is the cache line concerned.
+	Addr cache.LineAddr
+	// ToCluster selects the receiver side the dispatcher hands this to.
+	ToCluster bool
+	// ToMem routes the message to a memory controller; MemCtrl selects it.
+	ToMem   bool
+	MemCtrl int
+	// FromMemory marks data served by an off-chip fetch (an L2 miss).
+	FromMemory bool
+	// Sharers and Dirty carry directory state alongside a migrating line.
+	Sharers uint16
+	Dirty   bool
+}

@@ -1,0 +1,323 @@
+package fabric
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/noc"
+)
+
+// run ticks the fabric until pred is true or the cycle budget is exhausted,
+// returning the cycle count consumed.
+func run(f *Fabric, pred func() bool, budget int) int {
+	for c := 0; c < budget; c++ {
+		if pred() {
+			return c
+		}
+		f.Tick(uint64(c))
+	}
+	return budget
+}
+
+func TestSingleLayerDelivery(t *testing.T) {
+	f := New(geom.Dim{Width: 4, Height: 4, Layers: 1}, nil)
+	src := geom.Coord{X: 0, Y: 0, Layer: 0}
+	dst := geom.Coord{X: 3, Y: 3, Layer: 0}
+	var got *noc.Packet
+	var at uint64
+	f.SetSink(dst, func(p *noc.Packet, cycle uint64) { got, at = p, cycle })
+
+	f.Send(&noc.Packet{Src: src, Dst: dst, Size: 1, Payload: "hello"})
+	run(f, func() bool { return got != nil }, 100)
+
+	if got == nil {
+		t.Fatal("packet not delivered")
+	}
+	if got.Payload != "hello" {
+		t.Fatalf("payload = %v", got.Payload)
+	}
+	// 6 mesh hops at one cycle each, plus one ejection cycle.
+	if at != 7 {
+		t.Errorf("delivery at cycle %d, want 7", at)
+	}
+}
+
+func TestDataPacketSerialization(t *testing.T) {
+	f := New(geom.Dim{Width: 4, Height: 1, Layers: 1}, nil)
+	dst := geom.Coord{X: 3, Y: 0, Layer: 0}
+	var at uint64
+	f.SetSink(dst, func(p *noc.Packet, cycle uint64) { at = cycle })
+	f.Send(&noc.Packet{Src: geom.Coord{X: 0, Y: 0, Layer: 0}, Dst: dst, Size: noc.DataPacketFlits})
+	run(f, func() bool { return at != 0 }, 100)
+	// Tail trails head by Size-1 cycles in an uncontended pipeline:
+	// head ejects at 3 hops + 1, tail 3 cycles later.
+	if at != 7 {
+		t.Errorf("tail delivered at %d, want 7", at)
+	}
+}
+
+func TestCrossLayerViaPillar(t *testing.T) {
+	f := New(geom.Dim{Width: 4, Height: 4, Layers: 2},
+		[]geom.Coord{{X: 1, Y: 1}})
+	src := geom.Coord{X: 0, Y: 0, Layer: 0}
+	dst := geom.Coord{X: 3, Y: 3, Layer: 1}
+	var got *noc.Packet
+	var at uint64
+	f.SetSink(dst, func(p *noc.Packet, cycle uint64) { got, at = p, cycle })
+	f.Send(&noc.Packet{Src: src, Dst: dst, Size: 1})
+	run(f, func() bool { return got != nil }, 200)
+	if got == nil {
+		t.Fatal("cross-layer packet not delivered")
+	}
+	if !got.Vertical() {
+		t.Error("delivered packet must be marked vertical")
+	}
+	if !got.HasVia || got.Via.X != 1 || got.Via.Y != 1 {
+		t.Errorf("via = %v", got.Via)
+	}
+	// src->pillar 2 hops, one cycle for the pipelined transmitter+bus
+	// crossing, pillar->dst 4 hops, and the ejection cycle: 8 total.
+	if at != 8 {
+		t.Errorf("delivered at %d, want 8", at)
+	}
+}
+
+func TestSingleLayerNoBuses(t *testing.T) {
+	f := New(geom.Dim{Width: 4, Height: 4, Layers: 1}, []geom.Coord{{X: 1, Y: 1}})
+	if len(f.Buses()) != 0 {
+		t.Fatal("single-layer fabric must not create buses")
+	}
+	if len(f.Pillars()) != 1 {
+		t.Fatal("pillar positions must still be recorded")
+	}
+}
+
+func TestBestPillar(t *testing.T) {
+	f := New(geom.Dim{Width: 8, Height: 8, Layers: 2},
+		[]geom.Coord{{X: 1, Y: 1}, {X: 6, Y: 6}})
+	src := geom.Coord{X: 0, Y: 0, Layer: 0}
+	dst := geom.Coord{X: 1, Y: 2, Layer: 1}
+	p, ok := f.BestPillar(src, dst)
+	if !ok || p.X != 1 || p.Y != 1 {
+		t.Errorf("BestPillar = %v,%v; want (1,1)", p, ok)
+	}
+	src2 := geom.Coord{X: 7, Y: 7, Layer: 0}
+	dst2 := geom.Coord{X: 7, Y: 5, Layer: 1}
+	p2, _ := f.BestPillar(src2, dst2)
+	if p2.X != 6 || p2.Y != 6 {
+		t.Errorf("BestPillar = %v; want (6,6)", p2)
+	}
+}
+
+func TestAllPairsDelivery(t *testing.T) {
+	dim := geom.Dim{Width: 3, Height: 3, Layers: 2}
+	f := New(dim, []geom.Coord{{X: 1, Y: 1}})
+	delivered := make(map[uint64]int)
+	for i := 0; i < dim.Nodes(); i++ {
+		c := dim.CoordOf(i)
+		f.SetSink(c, func(p *noc.Packet, cycle uint64) { delivered[p.ID]++ })
+	}
+	sent := 0
+	for i := 0; i < dim.Nodes(); i++ {
+		for j := 0; j < dim.Nodes(); j++ {
+			if i == j {
+				continue
+			}
+			f.Send(&noc.Packet{Src: dim.CoordOf(i), Dst: dim.CoordOf(j), Size: 1})
+			sent++
+		}
+	}
+	run(f, func() bool { return len(delivered) == sent && f.Quiescent() }, 5000)
+	if len(delivered) != sent {
+		t.Fatalf("delivered %d of %d packets", len(delivered), sent)
+	}
+	for id, n := range delivered {
+		if n != 1 {
+			t.Fatalf("packet %d delivered %d times", id, n)
+		}
+	}
+	if f.Delivered.Value() != uint64(sent) {
+		t.Fatalf("Delivered counter = %d, want %d", f.Delivered.Value(), sent)
+	}
+}
+
+func TestRandomTrafficNoDeadlock(t *testing.T) {
+	dim := geom.Dim{Width: 4, Height: 4, Layers: 4}
+	f := New(dim, []geom.Coord{{X: 0, Y: 0}, {X: 3, Y: 3}})
+	var delivered int
+	for i := 0; i < dim.Nodes(); i++ {
+		f.SetSink(dim.CoordOf(i), func(p *noc.Packet, cycle uint64) { delivered++ })
+	}
+	rng := rand.New(rand.NewSource(42))
+	const total = 2000
+	for k := 0; k < total; k++ {
+		src := dim.CoordOf(rng.Intn(dim.Nodes()))
+		dst := dim.CoordOf(rng.Intn(dim.Nodes()))
+		if src == dst {
+			dst = dim.CoordOf((dim.Index(dst) + 1) % dim.Nodes())
+		}
+		size := 1
+		if rng.Intn(2) == 0 {
+			size = noc.DataPacketFlits
+		}
+		f.Send(&noc.Packet{Src: src, Dst: dst, Size: size})
+	}
+	run(f, func() bool { return delivered == total }, 200000)
+	if delivered != total {
+		t.Fatalf("deadlock or loss: delivered %d of %d", delivered, total)
+	}
+	if !f.Quiescent() {
+		t.Fatal("fabric should be quiescent after all deliveries")
+	}
+}
+
+func TestHopAccounting(t *testing.T) {
+	f := New(geom.Dim{Width: 5, Height: 1, Layers: 1}, nil)
+	dst := geom.Coord{X: 4, Y: 0, Layer: 0}
+	var got *noc.Packet
+	f.SetSink(dst, func(p *noc.Packet, cycle uint64) { got = p })
+	f.Send(&noc.Packet{Src: geom.Coord{X: 0, Y: 0, Layer: 0}, Dst: dst, Size: 1})
+	run(f, func() bool { return got != nil }, 100)
+	// 4 link traversals plus the ejection into the sink.
+	if got.Hops != 5 {
+		t.Errorf("Hops = %d, want 5", got.Hops)
+	}
+	if f.FlitHops.Value() != 5 {
+		t.Errorf("FlitHops = %d, want 5", f.FlitHops.Value())
+	}
+}
+
+func TestLatencyStats(t *testing.T) {
+	f := New(geom.Dim{Width: 4, Height: 1, Layers: 1}, nil)
+	dst := geom.Coord{X: 3, Y: 0, Layer: 0}
+	done := 0
+	f.SetSink(dst, func(p *noc.Packet, cycle uint64) { done++ })
+	f.Send(&noc.Packet{Src: geom.Coord{X: 0, Y: 0, Layer: 0}, Dst: dst, Size: 1})
+	run(f, func() bool { return done == 1 }, 100)
+	if f.PktLatency.Count() != 1 {
+		t.Fatalf("latency samples = %d", f.PktLatency.Count())
+	}
+	if f.PktLatency.Mean() < 4 {
+		t.Errorf("implausibly low latency %f", f.PktLatency.Mean())
+	}
+}
+
+func TestSendPanicsOnBadPacket(t *testing.T) {
+	f := New(geom.Dim{Width: 2, Height: 2, Layers: 1}, nil)
+	cases := []*noc.Packet{
+		{Src: geom.Coord{X: 5, Y: 0, Layer: 0}, Dst: geom.Coord{X: 0, Y: 0, Layer: 0}, Size: 1},
+		{Src: geom.Coord{X: 0, Y: 0, Layer: 0}, Dst: geom.Coord{X: 0, Y: 5, Layer: 0}, Size: 1},
+		{Src: geom.Coord{X: 0, Y: 0, Layer: 0}, Dst: geom.Coord{X: 1, Y: 1, Layer: 0}, Size: 0},
+	}
+	for i, p := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: Send did not panic", i)
+				}
+			}()
+			f.Send(p)
+		}()
+	}
+}
+
+func TestCrossLayerWithoutPillarsPanics(t *testing.T) {
+	f := New(geom.Dim{Width: 2, Height: 2, Layers: 2}, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("cross-layer send without pillars must panic")
+		}
+	}()
+	f.Send(&noc.Packet{Src: geom.Coord{X: 0, Y: 0, Layer: 0}, Dst: geom.Coord{X: 0, Y: 0, Layer: 1}, Size: 1})
+}
+
+func TestPillarRouterHasVertical(t *testing.T) {
+	f := New(geom.Dim{Width: 3, Height: 3, Layers: 2}, []geom.Coord{{X: 1, Y: 1}})
+	for l := 0; l < 2; l++ {
+		if !f.Router(geom.Coord{X: 1, Y: 1, Layer: l}).HasVertical() {
+			t.Errorf("pillar router on layer %d missing vertical port", l)
+		}
+	}
+	if f.Router(geom.Coord{X: 0, Y: 0, Layer: 0}).HasVertical() {
+		t.Error("non-pillar router must not have a vertical port")
+	}
+}
+
+func TestVerticalRouterMode(t *testing.T) {
+	dim := geom.Dim{Width: 4, Height: 4, Layers: 4}
+	f := NewWithVertical(dim, []geom.Coord{{X: 1, Y: 1}}, VerticalRouter)
+	if f.Mode() != VerticalRouter {
+		t.Fatal("mode not recorded")
+	}
+	if len(f.Buses()) != 0 {
+		t.Fatal("router mode must not create buses")
+	}
+	var got *noc.Packet
+	var at uint64
+	dst := geom.Coord{X: 3, Y: 3, Layer: 3}
+	f.SetSink(dst, func(p *noc.Packet, cycle uint64) { got, at = p, cycle })
+	f.Send(&noc.Packet{Src: geom.Coord{X: 0, Y: 0, Layer: 0}, Dst: dst, Size: 1})
+	run(f, func() bool { return got != nil }, 500)
+	if got == nil {
+		t.Fatal("packet not delivered in router mode")
+	}
+	if !got.Vertical() {
+		t.Error("packet not promoted to phase 1 on arrival layer")
+	}
+	// src->pillar 2 hops, 3 vertical router hops, pillar->dst 4 hops,
+	// + ejection = 10 cycles (no bus transmitter stage).
+	if at != 10 {
+		t.Errorf("delivered at %d, want 10", at)
+	}
+}
+
+func TestVerticalRouterSlowerAcrossManyLayers(t *testing.T) {
+	// The paper's argument for the bus: crossing n layers costs n router
+	// hops but only one bus cycle. Compare delivery times on a 4-layer
+	// chip for a packet crossing the full stack.
+	mk := func(mode VerticalMode) uint64 {
+		dim := geom.Dim{Width: 4, Height: 4, Layers: 4}
+		f := NewWithVertical(dim, []geom.Coord{{X: 1, Y: 1}}, mode)
+		var at uint64
+		dst := geom.Coord{X: 1, Y: 1, Layer: 3}
+		f.SetSink(dst, func(p *noc.Packet, cycle uint64) { at = cycle })
+		f.Send(&noc.Packet{Src: geom.Coord{X: 1, Y: 1, Layer: 0}, Dst: dst, Size: 1})
+		run(f, func() bool { return at != 0 }, 500)
+		return at
+	}
+	bus, router := mk(VerticalBus), mk(VerticalRouter)
+	if bus == 0 || router == 0 {
+		t.Fatal("a packet was not delivered")
+	}
+	if bus >= router {
+		t.Errorf("bus (%d cycles) not faster than router chain (%d cycles)", bus, router)
+	}
+}
+
+func TestVerticalRouterNoDeadlock(t *testing.T) {
+	dim := geom.Dim{Width: 4, Height: 4, Layers: 4}
+	f := NewWithVertical(dim, []geom.Coord{{X: 0, Y: 0}, {X: 3, Y: 3}}, VerticalRouter)
+	var delivered int
+	for i := 0; i < dim.Nodes(); i++ {
+		f.SetSink(dim.CoordOf(i), func(p *noc.Packet, cycle uint64) { delivered++ })
+	}
+	rng := rand.New(rand.NewSource(7))
+	const total = 2000
+	for k := 0; k < total; k++ {
+		src := dim.CoordOf(rng.Intn(dim.Nodes()))
+		dst := dim.CoordOf(rng.Intn(dim.Nodes()))
+		if src == dst {
+			dst = dim.CoordOf((dim.Index(dst) + 1) % dim.Nodes())
+		}
+		size := 1
+		if rng.Intn(2) == 0 {
+			size = noc.DataPacketFlits
+		}
+		f.Send(&noc.Packet{Src: src, Dst: dst, Size: size})
+	}
+	run(f, func() bool { return delivered == total }, 300000)
+	if delivered != total {
+		t.Fatalf("deadlock or loss in router mode: %d of %d", delivered, total)
+	}
+}

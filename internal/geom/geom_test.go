@@ -1,0 +1,206 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestManhattanXY(t *testing.T) {
+	cases := []struct {
+		a, b Coord
+		want int
+	}{
+		{Coord{0, 0, 0}, Coord{0, 0, 0}, 0},
+		{Coord{0, 0, 0}, Coord{3, 4, 0}, 7},
+		{Coord{3, 4, 0}, Coord{0, 0, 0}, 7},
+		{Coord{2, 2, 0}, Coord{2, 5, 1}, 3}, // layers ignored
+		{Coord{5, 1, 3}, Coord{1, 1, 3}, 4},
+	}
+	for _, c := range cases {
+		if got := c.a.ManhattanXY(c.b); got != c.want {
+			t.Errorf("ManhattanXY(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestManhattanSymmetric(t *testing.T) {
+	f := func(ax, ay, bx, by int8) bool {
+		a := Coord{int(ax), int(ay), 0}
+		b := Coord{int(bx), int(by), 0}
+		return a.ManhattanXY(b) == b.ManhattanXY(a) && a.ManhattanXY(b) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestManhattanTriangleInequality(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy int8) bool {
+		a := Coord{int(ax), int(ay), 0}
+		b := Coord{int(bx), int(by), 0}
+		c := Coord{int(cx), int(cy), 0}
+		return a.ManhattanXY(c) <= a.ManhattanXY(b)+b.ManhattanXY(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHopsVia(t *testing.T) {
+	src := Coord{1, 1, 0}
+	dst := Coord{4, 2, 1}
+	p := Coord{2, 2, 0}
+	// src->pillar: |1-2|+|1-2| = 2; bus: 1; pillar->dst: |2-4|+|2-2| = 2.
+	if got := src.HopsVia(dst, p); got != 5 {
+		t.Errorf("HopsVia = %d, want 5", got)
+	}
+	// Same layer: pillar irrelevant.
+	sameDst := Coord{4, 2, 0}
+	if got := src.HopsVia(sameDst, p); got != src.ManhattanXY(sameDst) {
+		t.Errorf("same-layer HopsVia = %d, want %d", got, src.ManhattanXY(sameDst))
+	}
+}
+
+func TestDimIndexRoundTrip(t *testing.T) {
+	d := Dim{Width: 7, Height: 5, Layers: 3}
+	if d.Nodes() != 105 {
+		t.Fatalf("Nodes = %d, want 105", d.Nodes())
+	}
+	if d.NodesPerLayer() != 35 {
+		t.Fatalf("NodesPerLayer = %d, want 35", d.NodesPerLayer())
+	}
+	seen := make(map[int]bool)
+	for l := 0; l < d.Layers; l++ {
+		for y := 0; y < d.Height; y++ {
+			for x := 0; x < d.Width; x++ {
+				c := Coord{x, y, l}
+				if !d.Contains(c) {
+					t.Fatalf("Contains(%v) = false", c)
+				}
+				i := d.Index(c)
+				if i < 0 || i >= d.Nodes() {
+					t.Fatalf("Index(%v) = %d out of range", c, i)
+				}
+				if seen[i] {
+					t.Fatalf("Index(%v) = %d collides", c, i)
+				}
+				seen[i] = true
+				if back := d.CoordOf(i); back != c {
+					t.Fatalf("CoordOf(Index(%v)) = %v", c, back)
+				}
+			}
+		}
+	}
+}
+
+func TestDimContainsRejects(t *testing.T) {
+	d := Dim{Width: 4, Height: 4, Layers: 2}
+	for _, c := range []Coord{
+		{-1, 0, 0}, {0, -1, 0}, {0, 0, -1},
+		{4, 0, 0}, {0, 4, 0}, {0, 0, 2},
+	} {
+		if d.Contains(c) {
+			t.Errorf("Contains(%v) = true, want false", c)
+		}
+	}
+}
+
+func TestStepAndOpposite(t *testing.T) {
+	c := Coord{2, 2, 1}
+	for _, dir := range []Direction{North, South, East, West} {
+		s := Step(c, dir)
+		if s.ManhattanXY(c) != 1 || s.Layer != c.Layer {
+			t.Errorf("Step(%v,%v) = %v", c, dir, s)
+		}
+		if back := Step(s, dir.Opposite()); back != c {
+			t.Errorf("Step back from %v via %v = %v, want %v", s, dir.Opposite(), back, c)
+		}
+	}
+	if Step(c, Local) != c || Step(c, Vertical) != c {
+		t.Error("Step must not move for Local/Vertical")
+	}
+	if Local.Opposite() != Local || Vertical.Opposite() != Vertical {
+		t.Error("Local/Vertical must be self-opposite")
+	}
+}
+
+func TestDORReachesDestination(t *testing.T) {
+	f := func(sx, sy, dx, dy uint8) bool {
+		cur := Coord{int(sx % 16), int(sy % 16), 0}
+		dst := Coord{int(dx % 16), int(dy % 16), 0}
+		steps := 0
+		for cur != dst {
+			dir := DOR(cur, dst)
+			if dir == Local {
+				return false // claims arrival before reaching dst
+			}
+			next := Step(cur, dir)
+			// Every DOR step must strictly reduce the distance.
+			if next.ManhattanXY(dst) != cur.ManhattanXY(dst)-1 {
+				return false
+			}
+			cur = next
+			steps++
+			if steps > 64 {
+				return false
+			}
+		}
+		return DOR(cur, dst) == Local
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDORXBeforeY(t *testing.T) {
+	// Dimension-order routing must exhaust X before moving in Y.
+	cur := Coord{0, 0, 0}
+	dst := Coord{3, 3, 0}
+	if dir := DOR(cur, dst); dir != East {
+		t.Errorf("DOR = %v, want East first", dir)
+	}
+	cur = Coord{3, 0, 0}
+	if dir := DOR(cur, dst); dir != South {
+		t.Errorf("DOR = %v, want South after X done", dir)
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	names := map[Direction]string{
+		North: "North", South: "South", East: "East",
+		West: "West", Local: "Local", Vertical: "Vertical",
+	}
+	for d, want := range names {
+		if d.String() != want {
+			t.Errorf("String(%d) = %q, want %q", int(d), d.String(), want)
+		}
+	}
+}
+
+func TestHopsViaSymmetric(t *testing.T) {
+	// The pillar path length is symmetric in source and destination.
+	f := func(sx, sy, sl, dx, dy, px, py uint8) bool {
+		src := Coord{int(sx % 16), int(sy % 8), int(sl % 2)}
+		dst := Coord{int(dx % 16), int(dy % 8), 1 - int(sl%2)}
+		p := Coord{int(px % 16), int(py % 8), 0}
+		return src.HopsVia(dst, p) == dst.HopsVia(src, p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHopsViaLowerBound(t *testing.T) {
+	// Triangle inequality: detouring through the pillar can never beat the
+	// direct in-plane distance plus one vertical hop, minus what the
+	// pillar's own proximity to the destination saves.
+	f := func(sx, sy, dx, dy, px, py uint8) bool {
+		src := Coord{int(sx % 16), int(sy % 8), 0}
+		dst := Coord{int(dx % 16), int(dy % 8), 1}
+		p := Coord{int(px % 16), int(py % 8), 0}
+		return src.HopsVia(dst, p) >= src.ManhattanXY(dst)+1-2*dst.ManhattanXY(Coord{p.X, p.Y, dst.Layer})
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,136 @@
+package noc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// occConsistent verifies the router's occupancy bitmask matches the actual
+// VC buffer states — the invariant the fast arbitration path depends on.
+func occConsistent(r *Router) bool {
+	for d := geom.Direction(0); d < geom.NumDirections; d++ {
+		port := r.in[d]
+		if port == nil {
+			continue
+		}
+		for v := 0; v < NumVCs; v++ {
+			bit := r.occ&(1<<(uint(d)*NumVCs+uint(v))) != 0
+			if bit != !port.vcs[v].empty() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestOccupancyInvariantUnderRandomTraffic(t *testing.T) {
+	// Drive a small chain with random packet sizes and checks the
+	// occupancy bitmask against buffer state every cycle.
+	routers, got := line(4)
+	rng := rand.New(rand.NewSource(11))
+	sent := 0
+	for c := 0; c < 3000; c++ {
+		if rng.Intn(4) == 0 {
+			size := 1 + rng.Intn(VCDepth)
+			routers[rng.Intn(3)].Inject(&Packet{
+				Src: geom.Coord{X: 0}, Dst: geom.Coord{X: 3}, Size: size,
+			})
+			sent++
+		}
+		for _, r := range routers {
+			r.Tick(uint64(c))
+		}
+		for i, r := range routers {
+			if !occConsistent(r) {
+				t.Fatalf("cycle %d: router %d occupancy bitmask inconsistent", c, i)
+			}
+		}
+	}
+	for c := 3000; c < 4000 && len(*got) < sent; c++ {
+		for _, r := range routers {
+			r.Tick(uint64(c))
+		}
+	}
+	if len(*got) != sent {
+		t.Fatalf("delivered %d of %d", len(*got), sent)
+	}
+}
+
+func TestPipelineDelaysForwarding(t *testing.T) {
+	routers, got := line(2)
+	for _, r := range routers {
+		r.SetPipeline(4)
+	}
+	routers[0].Inject(&Packet{Src: geom.Coord{X: 0}, Dst: geom.Coord{X: 1}, Size: 1})
+	// Injection lands the flit at cycle 0; with a 4-cycle pipeline it may
+	// not leave router 0 before cycle 4, so delivery happens at >= cycle 8
+	// (two routers).
+	deliveredAt := -1
+	for c := 0; c < 30 && deliveredAt < 0; c++ {
+		for _, r := range routers {
+			r.Tick(uint64(c))
+		}
+		if len(*got) == 1 {
+			deliveredAt = c
+		}
+	}
+	if deliveredAt < 8 {
+		t.Errorf("4-stage pipeline delivered at cycle %d, want >= 8", deliveredAt)
+	}
+	// Single-stage routers deliver the same trip in 2 cycles.
+	fast, fgot := line(2)
+	fast[0].Inject(&Packet{Src: geom.Coord{X: 0}, Dst: geom.Coord{X: 1}, Size: 1})
+	fastAt := -1
+	for c := 0; c < 30 && fastAt < 0; c++ {
+		for _, r := range fast {
+			r.Tick(uint64(c))
+		}
+		if len(*fgot) == 1 {
+			fastAt = c
+		}
+	}
+	if fastAt >= deliveredAt {
+		t.Errorf("single-stage (%d) not faster than 4-stage (%d)", fastAt, deliveredAt)
+	}
+}
+
+func TestSetPipelineClampsToOne(t *testing.T) {
+	r := NewRouter(geom.Coord{}, straightRoute)
+	r.SetPipeline(0)
+	if r.pipeline != 1 {
+		t.Errorf("pipeline = %d, want clamp to 1", r.pipeline)
+	}
+	r.SetPipeline(-3)
+	if r.pipeline != 1 {
+		t.Errorf("pipeline = %d, want clamp to 1", r.pipeline)
+	}
+}
+
+func TestWorkHookFiresOnIdleTransitions(t *testing.T) {
+	r := NewRouter(geom.Coord{X: 0}, straightRoute)
+	r.SetSink(func(p *Packet, cycle uint64) {})
+	fires := 0
+	r.SetWorkHook(func() { fires++ })
+	r.Inject(&Packet{Src: geom.Coord{X: 0}, Dst: geom.Coord{X: 0}, Size: 1})
+	if fires != 1 {
+		t.Fatalf("hook fired %d times on first injection, want 1", fires)
+	}
+	// A second injection while busy must not re-fire.
+	r.Inject(&Packet{Src: geom.Coord{X: 0}, Dst: geom.Coord{X: 0}, Size: 1})
+	if fires != 1 {
+		t.Fatalf("hook fired %d times while busy, want 1", fires)
+	}
+	// Drain, then a new injection fires again.
+	for c := 0; c < 20; c++ {
+		r.Tick(uint64(c))
+	}
+	if !r.Idle() {
+		t.Fatal("router did not drain")
+	}
+	r.Inject(&Packet{Src: geom.Coord{X: 0}, Dst: geom.Coord{X: 0}, Size: 1})
+	if fires != 2 {
+		t.Fatalf("hook fired %d times after drain, want 2", fires)
+	}
+}

@@ -1,0 +1,59 @@
+package noc
+
+import "repro/internal/geom"
+
+// vc is one virtual channel: a FIFO flit buffer one message deep, owned by
+// at most one packet at a time (wormhole switching). Ownership is taken when
+// the upstream router allocates the VC for a head flit and released when the
+// tail flit leaves the buffer.
+type vc struct {
+	buf  [VCDepth]Flit
+	head int
+	n    int
+
+	owner *Packet // packet currently holding this VC; nil when free
+	// routed reports whether route/outVC below are valid for the owner.
+	routed bool
+	route  geom.Direction // output direction chosen for the owner
+	outVC  int            // allocated VC index at the downstream endpoint, -1 if none
+}
+
+func (v *vc) empty() bool { return v.n == 0 }
+func (v *vc) full() bool  { return v.n == VCDepth }
+
+// free reports whether a new packet may claim this VC.
+func (v *vc) free() bool { return v.owner == nil }
+
+// claim assigns the VC to a packet and resets routing state.
+func (v *vc) claim(p *Packet) {
+	v.owner = p
+	v.routed = false
+	v.outVC = -1
+}
+
+// release frees the VC after its packet's tail flit has departed.
+func (v *vc) release() {
+	v.owner = nil
+	v.routed = false
+	v.outVC = -1
+}
+
+// push appends a flit. The caller must have checked full().
+func (v *vc) push(f Flit) {
+	v.buf[(v.head+v.n)%VCDepth] = f
+	v.n++
+}
+
+// front returns the flit at the head of the FIFO. The caller must have
+// checked empty().
+func (v *vc) front() *Flit {
+	return &v.buf[v.head]
+}
+
+// pop removes and returns the head flit.
+func (v *vc) pop() Flit {
+	f := v.buf[v.head]
+	v.head = (v.head + 1) % VCDepth
+	v.n--
+	return f
+}

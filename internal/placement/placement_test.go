@@ -1,0 +1,255 @@
+package placement
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+var dim16x8x2 = geom.Dim{Width: 16, Height: 8, Layers: 2}
+
+func TestPillarGridEight(t *testing.T) {
+	pillars, pw := PillarGrid(dim16x8x2, 8)
+	if len(pillars) != 8 {
+		t.Fatalf("got %d pillars", len(pillars))
+	}
+	if pw != 4 {
+		t.Errorf("grid width = %d, want 4", pw)
+	}
+	for _, p := range pillars {
+		if p.X <= 0 || p.X >= dim16x8x2.Width-1 || p.Y <= 0 || p.Y >= dim16x8x2.Height-1 {
+			t.Errorf("pillar %v on or beyond chip edge", p)
+		}
+		if p.Layer != 0 {
+			t.Errorf("pillar %v carries a layer", p)
+		}
+	}
+	// All positions distinct.
+	seen := map[geom.Coord]bool{}
+	for _, p := range pillars {
+		if seen[p] {
+			t.Fatalf("duplicate pillar %v", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestPillarGridSpacing(t *testing.T) {
+	// Pillars must be spread out: minimum pairwise distance at least the
+	// cell size for an 8-pillar 16x8 grid (cells 4x4 -> distance >= 4).
+	pillars, _ := PillarGrid(dim16x8x2, 8)
+	for i := 0; i < len(pillars); i++ {
+		for j := i + 1; j < len(pillars); j++ {
+			if d := pillars[i].ManhattanXY(pillars[j]); d < 4 {
+				t.Errorf("pillars %v and %v only %d apart", pillars[i], pillars[j], d)
+			}
+		}
+	}
+}
+
+func TestPillarGridCounts(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8} {
+		pillars, _ := PillarGrid(dim16x8x2, n)
+		if len(pillars) != n {
+			t.Errorf("n=%d: got %d pillars", n, len(pillars))
+		}
+	}
+	if p, _ := PillarGrid(dim16x8x2, 0); p != nil {
+		t.Error("n=0 must yield nil")
+	}
+}
+
+func TestOptimalOffsetsAllDimensions(t *testing.T) {
+	pillars, pw := PillarGrid(dim16x8x2, 8)
+	cpus := Optimal(pillars, pw, 2)
+	if len(cpus) != 8 {
+		t.Fatalf("got %d CPUs", len(cpus))
+	}
+	if err := Validate(cpus, dim16x8x2); err != nil {
+		t.Fatal(err)
+	}
+	// Optimal offsetting: no two CPUs stacked in the same vertical column.
+	if m := MaxStackedPerColumn(cpus); m != 1 {
+		t.Errorf("MaxStackedPerColumn = %d, want 1", m)
+	}
+	// CPUs sit exactly on their pillars in-plane.
+	for i, c := range cpus {
+		if c.X != pillars[i].X || c.Y != pillars[i].Y {
+			t.Errorf("CPU %d at %v not on pillar %v", i, c, pillars[i])
+		}
+	}
+	// Layers are used evenly (4 per layer for 8 CPUs on 2 layers).
+	perLayer := map[int]int{}
+	for _, c := range cpus {
+		perLayer[c.Layer]++
+	}
+	if perLayer[0] != 4 || perLayer[1] != 4 {
+		t.Errorf("layer distribution %v, want 4/4", perLayer)
+	}
+}
+
+func TestAlgorithm1TwoPerPillar(t *testing.T) {
+	pillars := []geom.Coord{{X: 5, Y: 4}}
+	dim := geom.Dim{Width: 12, Height: 12, Layers: 4}
+	cpus, err := Algorithm1(pillars, dim, 4, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cpus) != 8 { // 1 pillar x 4 layers x 2 CPUs
+		t.Fatalf("got %d CPUs", len(cpus))
+	}
+	want := []geom.Coord{
+		{X: 6, Y: 4, Layer: 0}, {X: 4, Y: 4, Layer: 0}, // l%4==0: (x±k, y)
+		{X: 5, Y: 5, Layer: 1}, {X: 5, Y: 3, Layer: 1}, // l%4==1: (x, y±k)
+		{X: 7, Y: 4, Layer: 2}, {X: 3, Y: 4, Layer: 2}, // l%4==2: (x±2k, y)
+		{X: 5, Y: 6, Layer: 3}, {X: 5, Y: 2, Layer: 3}, // l%4==3: (x, y±2k)
+	}
+	for i, w := range want {
+		if cpus[i] != w {
+			t.Errorf("cpu[%d] = %v, want %v", i, cpus[i], w)
+		}
+	}
+	if err := Validate(cpus, dim); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlgorithm1FourPerPillar(t *testing.T) {
+	pillars := []geom.Coord{{X: 6, Y: 6}}
+	dim := geom.Dim{Width: 13, Height: 13, Layers: 2}
+	cpus, err := Algorithm1(pillars, dim, 2, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cpus) != 8 {
+		t.Fatalf("got %d CPUs", len(cpus))
+	}
+	// Layer 0 (l%4==0): (x±2k, y), (x, y±2k); layer 1: (x±k, y±k).
+	want0 := map[geom.Coord]bool{
+		{X: 8, Y: 6, Layer: 0}: true, {X: 4, Y: 6, Layer: 0}: true,
+		{X: 6, Y: 8, Layer: 0}: true, {X: 6, Y: 4, Layer: 0}: true,
+	}
+	want1 := map[geom.Coord]bool{
+		{X: 7, Y: 7, Layer: 1}: true, {X: 7, Y: 5, Layer: 1}: true,
+		{X: 5, Y: 7, Layer: 1}: true, {X: 5, Y: 5, Layer: 1}: true,
+	}
+	for _, c := range cpus[:4] {
+		if !want0[c] {
+			t.Errorf("unexpected layer-0 CPU %v", c)
+		}
+	}
+	for _, c := range cpus[4:] {
+		if !want1[c] {
+			t.Errorf("unexpected layer-1 CPU %v", c)
+		}
+	}
+	// No stacking between the two layers.
+	if m := MaxStackedPerColumn(cpus); m != 1 {
+		t.Errorf("MaxStackedPerColumn = %d, want 1", m)
+	}
+}
+
+func TestAlgorithm1MaxTwoHopsFromPillar(t *testing.T) {
+	// "Processors are placed at most two hops away from a pillar" for k=1.
+	pillars := []geom.Coord{{X: 8, Y: 4}, {X: 3, Y: 3}}
+	dim := geom.Dim{Width: 16, Height: 8, Layers: 4}
+	for _, c := range []int{1, 2, 4} {
+		cpus, err := Algorithm1(pillars, dim, 4, c, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		per := len(cpus) / len(pillars)
+		for i, cpu := range cpus {
+			p := pillars[i/per]
+			if d := cpu.ManhattanXY(geom.Coord{X: p.X, Y: p.Y}); d > 2*2 {
+				t.Errorf("c=%d: CPU %v is %d hops from pillar %v", c, cpu, d, p)
+			}
+		}
+	}
+}
+
+func TestAlgorithm1Rejects(t *testing.T) {
+	pillars := []geom.Coord{{X: 2, Y: 2}}
+	dim := geom.Dim{Width: 8, Height: 8, Layers: 2}
+	if _, err := Algorithm1(pillars, dim, 2, 3, 1); err == nil {
+		t.Error("c=3 must be rejected")
+	}
+	if _, err := Algorithm1(pillars, dim, 2, 2, 0); err == nil {
+		t.Error("k=0 must be rejected")
+	}
+}
+
+func TestAlgorithm1ClampsAtEdges(t *testing.T) {
+	pillars := []geom.Coord{{X: 0, Y: 0}}
+	dim := geom.Dim{Width: 4, Height: 4, Layers: 1}
+	cpus, err := Algorithm1(pillars, dim, 1, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cpus {
+		if !dim.Contains(c) {
+			t.Errorf("CPU %v escaped the chip", c)
+		}
+	}
+}
+
+func TestStacked(t *testing.T) {
+	pillars := []geom.Coord{{X: 2, Y: 2}, {X: 6, Y: 2}, {X: 2, Y: 6}, {X: 6, Y: 6}}
+	cpus := Stacked(pillars, 2, 8)
+	if len(cpus) != 8 {
+		t.Fatalf("got %d CPUs", len(cpus))
+	}
+	// Fully stacked: every column carries 2 CPUs.
+	if m := MaxStackedPerColumn(cpus); m != 2 {
+		t.Errorf("MaxStackedPerColumn = %d, want 2", m)
+	}
+	// Truncation works.
+	if got := Stacked(pillars, 2, 3); len(got) != 3 {
+		t.Errorf("truncated Stacked returned %d", len(got))
+	}
+}
+
+func TestEdge(t *testing.T) {
+	dim := geom.Dim{Width: 16, Height: 16, Layers: 1}
+	cpus := Edge(dim, 8)
+	if len(cpus) != 8 {
+		t.Fatalf("got %d CPUs", len(cpus))
+	}
+	if err := Validate(cpus, dim); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cpus {
+		if c.Y != 0 && c.Y != dim.Height-1 {
+			t.Errorf("CPU %v not on a chip edge", c)
+		}
+		if c.Layer != 0 {
+			t.Errorf("edge CPU %v not on layer 0", c)
+		}
+	}
+}
+
+func TestEdgeOddCount(t *testing.T) {
+	dim := geom.Dim{Width: 16, Height: 16, Layers: 1}
+	cpus := Edge(dim, 5)
+	if len(cpus) != 5 {
+		t.Fatalf("got %d CPUs", len(cpus))
+	}
+	if err := Validate(cpus, dim); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesDuplicates(t *testing.T) {
+	dim := geom.Dim{Width: 4, Height: 4, Layers: 1}
+	dup := []geom.Coord{{X: 1, Y: 1}, {X: 1, Y: 1}}
+	if Validate(dup, dim) == nil {
+		t.Error("duplicate CPUs must fail validation")
+	}
+	out := []geom.Coord{{X: 9, Y: 0}}
+	if Validate(out, dim) == nil {
+		t.Error("off-chip CPU must fail validation")
+	}
+	if Validate([]geom.Coord{{X: 1, Y: 2}}, dim) != nil {
+		t.Error("valid placement rejected")
+	}
+}

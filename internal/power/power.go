@@ -1,0 +1,118 @@
+// Package power models the area and power of the Network-in-Memory
+// components. It reproduces the paper's static characterizations — Table 1
+// (90 nm synthesis results for the NoC router and the dTDMA bus transceiver
+// and arbiter) and Table 2 (inter-wafer pillar wiring area versus via
+// pitch) — and provides the dynamic-energy accounting used to compare
+// schemes (network flit-hops, bank accesses, and migrations).
+package power
+
+import "repro/internal/dtdma"
+
+// Table 1: area and power of the dTDMA bus components next to a generic
+// 5-port NoC router, synthesized in 90 nm TSMC libraries.
+const (
+	// RouterPowerMW is the generic 5-port NoC router power in milliwatts.
+	RouterPowerMW = 119.55
+	// RouterAreaMM2 is the router area in square millimeters.
+	RouterAreaMM2 = 0.3748
+
+	// TransceiverPowerMW is one dTDMA Rx/Tx pair's power in milliwatts
+	// (97.39 uW); two are required per client.
+	TransceiverPowerMW = 0.09739
+	// TransceiverAreaMM2 is one Rx/Tx pair's area (0.00036207 mm^2).
+	TransceiverAreaMM2 = 0.00036207
+
+	// ArbiterPowerMW is the dTDMA bus arbiter power (204.98 uW); one per bus.
+	ArbiterPowerMW = 0.20498
+	// ArbiterAreaMM2 is the arbiter area (0.00065480 mm^2).
+	ArbiterAreaMM2 = 0.00065480
+)
+
+// Component is one row of Table 1.
+type Component struct {
+	Name    string
+	PowerMW float64
+	AreaMM2 float64
+}
+
+// Table1 returns the paper's component characterization rows.
+func Table1() []Component {
+	return []Component{
+		{Name: "Generic NoC Router (5-port)", PowerMW: RouterPowerMW, AreaMM2: RouterAreaMM2},
+		{Name: "dTDMA Bus Rx/Tx (2 per client)", PowerMW: TransceiverPowerMW, AreaMM2: TransceiverAreaMM2},
+		{Name: "dTDMA Bus Arbiter (1 per bus)", PowerMW: ArbiterPowerMW, AreaMM2: ArbiterAreaMM2},
+	}
+}
+
+// BusDataBits is the pillar data width (128-bit bus).
+const BusDataBits = 128
+
+// PillarWires returns the total wire count of a pillar in an n-layer chip:
+// the 128 data bits plus three control-wire groups of (3n + log2 n) wires
+// each (Section 3.1; 170 wires for the paper's 4-layer example).
+func PillarWires(layers int) int {
+	return BusDataBits + 3*dtdma.ControlWires(layers)
+}
+
+// viaSitesPerPillar is the number of via sites a pillar occupies, including
+// the keep-out spacing between vias and their landing pads. The paper's
+// Table 2 areas correspond to a 25 x 25 site grid for the 170-wire 4-layer
+// pillar (62,500 um^2 at a 10 um pitch down to 25 um^2 at 0.2 um).
+const viaSitesPerPillar = 625
+
+// PillarAreaUM2 returns the inter-wafer wiring area of one pillar in square
+// micrometers for a given via pitch in micrometers (Table 2).
+func PillarAreaUM2(viaPitchUM float64) float64 {
+	return viaSitesPerPillar * viaPitchUM * viaPitchUM
+}
+
+// Table2Pitches lists the via pitches (um) evaluated in Table 2.
+var Table2Pitches = []float64{10, 5, 1, 0.2}
+
+// PillarAreaOverheadVsRouter returns the pillar wiring area as a fraction
+// of the 5-port NoC router area — the paper's argument that at a 5 um
+// pitch the overhead is around 4% and at 0.2 um it is negligible.
+func PillarAreaOverheadVsRouter(viaPitchUM float64) float64 {
+	routerAreaUM2 := RouterAreaMM2 * 1e6
+	return PillarAreaUM2(viaPitchUM) / routerAreaUM2
+}
+
+// Per-event energies for the dynamic-energy comparison between schemes, in
+// picojoules. Derived from the Table 1 power numbers at the nominal 90 nm
+// clock (500 MHz): energy/cycle = power/frequency, attributed per flit-hop
+// for the router and per bus transfer for the pillar; the bank and tag
+// energies follow Cacti 3.2's 64 KB SRAM characterization.
+const (
+	EnergyPerFlitHopPJ   = 239.1 // router traversal of one 128-bit flit
+	EnergyPerBusFlitPJ   = 0.97  // dTDMA pillar transfer (transceiver pair)
+	EnergyPerBankReadPJ  = 430.0 // 64 KB bank read
+	EnergyPerBankWritePJ = 470.0 // 64 KB bank write
+	EnergyPerTagprobePJ  = 52.0  // 24 KB cluster tag array lookup
+)
+
+// DynamicEnergy summarizes the dynamic energy of a measurement window.
+type DynamicEnergy struct {
+	NetworkPJ   float64
+	BusPJ       float64
+	BanksPJ     float64
+	TagsPJ      float64
+	MigrationPJ float64
+}
+
+// TotalPJ returns the sum of all components.
+func (d DynamicEnergy) TotalPJ() float64 {
+	return d.NetworkPJ + d.BusPJ + d.BanksPJ + d.TagsPJ + d.MigrationPJ
+}
+
+// Estimate computes the window's dynamic energy from raw event counts.
+// Migrations are charged their data movement explicitly (one bank read,
+// one bank write, and the flit-hops are already inside flitHops).
+func Estimate(flitHops, busFlits, bankReads, bankWrites, tagProbes, migrations uint64) DynamicEnergy {
+	return DynamicEnergy{
+		NetworkPJ:   float64(flitHops) * EnergyPerFlitHopPJ,
+		BusPJ:       float64(busFlits) * EnergyPerBusFlitPJ,
+		BanksPJ:     float64(bankReads)*EnergyPerBankReadPJ + float64(bankWrites)*EnergyPerBankWritePJ,
+		TagsPJ:      float64(tagProbes) * EnergyPerTagprobePJ,
+		MigrationPJ: float64(migrations) * (EnergyPerBankReadPJ + EnergyPerBankWritePJ),
+	}
+}

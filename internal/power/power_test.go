@@ -1,0 +1,107 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTable1Values(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 3 {
+		t.Fatalf("Table 1 has %d rows, want 3", len(rows))
+	}
+	// The paper's exact numbers.
+	want := []Component{
+		{"Generic NoC Router (5-port)", 119.55, 0.3748},
+		{"dTDMA Bus Rx/Tx (2 per client)", 0.09739, 0.00036207},
+		{"dTDMA Bus Arbiter (1 per bus)", 0.20498, 0.00065480},
+	}
+	for i, w := range want {
+		if rows[i].Name != w.Name {
+			t.Errorf("row %d name %q", i, rows[i].Name)
+		}
+		if math.Abs(rows[i].PowerMW-w.PowerMW) > 1e-9 || math.Abs(rows[i].AreaMM2-w.AreaMM2) > 1e-9 {
+			t.Errorf("row %d = %+v, want %+v", i, rows[i], w)
+		}
+	}
+}
+
+func TestDTDMAComponentsOrdersOfMagnitudeSmaller(t *testing.T) {
+	// The paper's argument: both the transceiver and arbiter are orders of
+	// magnitude below the router in area and power.
+	if RouterPowerMW/TransceiverPowerMW < 100 {
+		t.Error("transceiver power not orders of magnitude below the router")
+	}
+	if RouterPowerMW/ArbiterPowerMW < 100 {
+		t.Error("arbiter power not orders of magnitude below the router")
+	}
+	if RouterAreaMM2/TransceiverAreaMM2 < 100 || RouterAreaMM2/ArbiterAreaMM2 < 100 {
+		t.Error("dTDMA areas not orders of magnitude below the router")
+	}
+}
+
+func TestPillarWires(t *testing.T) {
+	// 4-layer chip: 128 data + 3 x 14 control = 170 wires (Table 2).
+	if got := PillarWires(4); got != 170 {
+		t.Errorf("PillarWires(4) = %d, want 170", got)
+	}
+}
+
+func TestTable2Areas(t *testing.T) {
+	// The paper's Table 2 row: 62500 / 15625 / 625 / 25 um^2.
+	want := map[float64]float64{10: 62500, 5: 15625, 1: 625, 0.2: 25}
+	for _, pitch := range Table2Pitches {
+		got := PillarAreaUM2(pitch)
+		if math.Abs(got-want[pitch]) > 1e-6 {
+			t.Errorf("pitch %.1f: area %.2f, want %.2f", pitch, got, want[pitch])
+		}
+	}
+}
+
+func TestPillarOverheadAt5um(t *testing.T) {
+	// "Even at a pitch of 5 um, a pillar induces an area overhead of around
+	// 4% to the generic 5-port NoC router."
+	got := PillarAreaOverheadVsRouter(5)
+	if got < 0.03 || got > 0.05 {
+		t.Errorf("5 um overhead = %.4f, want ~0.04", got)
+	}
+	// At 0.2 um the overhead is negligible (well below 0.1%).
+	if PillarAreaOverheadVsRouter(0.2) > 0.001 {
+		t.Error("0.2 um overhead not negligible")
+	}
+}
+
+func TestEnergyEstimate(t *testing.T) {
+	e := Estimate(1000, 100, 50, 20, 400, 3)
+	if e.NetworkPJ != 1000*EnergyPerFlitHopPJ {
+		t.Errorf("NetworkPJ = %f", e.NetworkPJ)
+	}
+	if e.BusPJ != 100*EnergyPerBusFlitPJ {
+		t.Errorf("BusPJ = %f", e.BusPJ)
+	}
+	wantBanks := 50*EnergyPerBankReadPJ + 20*EnergyPerBankWritePJ
+	if math.Abs(e.BanksPJ-wantBanks) > 1e-9 {
+		t.Errorf("BanksPJ = %f, want %f", e.BanksPJ, wantBanks)
+	}
+	if e.TagsPJ != 400*EnergyPerTagprobePJ {
+		t.Errorf("TagsPJ = %f", e.TagsPJ)
+	}
+	total := e.NetworkPJ + e.BusPJ + e.BanksPJ + e.TagsPJ + e.MigrationPJ
+	if math.Abs(e.TotalPJ()-total) > 1e-9 {
+		t.Error("TotalPJ does not sum components")
+	}
+	// Zero events, zero energy.
+	if z := Estimate(0, 0, 0, 0, 0, 0); z.TotalPJ() != 0 {
+		t.Error("zero events must give zero energy")
+	}
+}
+
+func TestMigrationEnergyMonotonic(t *testing.T) {
+	// More migrations strictly cost more energy: the basis of the paper's
+	// claim that 3D's reduced migration count saves L2 power.
+	a := Estimate(0, 0, 0, 0, 0, 10)
+	b := Estimate(0, 0, 0, 0, 0, 100)
+	if b.MigrationPJ <= a.MigrationPJ {
+		t.Error("migration energy not monotonic")
+	}
+}

@@ -1,0 +1,121 @@
+// Package sim provides the cycle-stepped simulation engine shared by every
+// timed component: a global clock, a Ticker registry for components that do
+// work every cycle (routers, buses), and an event queue for fixed-latency
+// completions (tag lookups, bank accesses, memory fetches).
+package sim
+
+import "container/heap"
+
+// Ticker is a component that performs work on every clock edge.
+type Ticker interface {
+	// Tick advances the component by one cycle. The current cycle number is
+	// passed for components that stamp or age state.
+	Tick(cycle uint64)
+}
+
+// TickerFunc adapts a plain function to the Ticker interface.
+type TickerFunc func(cycle uint64)
+
+// Tick calls the function.
+func (f TickerFunc) Tick(cycle uint64) { f(cycle) }
+
+// event is a scheduled callback.
+type event struct {
+	at  uint64
+	seq uint64 // tie-break so same-cycle events run in schedule order
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine owns the global clock. Each Step runs, in order: all events due at
+// the current cycle, then every registered ticker, then advances the clock.
+type Engine struct {
+	cycle   uint64
+	seq     uint64
+	events  eventHeap
+	tickers []Ticker
+}
+
+// NewEngine returns an engine at cycle 0 with no components.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current cycle.
+func (e *Engine) Now() uint64 { return e.cycle }
+
+// Register adds a ticker that will run every cycle, in registration order.
+func (e *Engine) Register(t Ticker) {
+	e.tickers = append(e.tickers, t)
+}
+
+// After schedules fn to run delay cycles from now. A delay of 0 runs fn at
+// the start of the next Step (events for the current cycle have already
+// fired once Step begins executing tickers).
+func (e *Engine) After(delay uint64, fn func()) {
+	e.seq++
+	heap.Push(&e.events, event{at: e.cycle + delay, seq: e.seq, fn: fn})
+}
+
+// At schedules fn for an absolute cycle. Cycles in the past fire on the
+// next Step.
+func (e *Engine) At(cycle uint64, fn func()) {
+	if cycle < e.cycle {
+		cycle = e.cycle
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: cycle, seq: e.seq, fn: fn})
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Step advances the simulation by one cycle: due events fire first (they may
+// schedule more events, including for this same cycle), then tickers run.
+func (e *Engine) Step() {
+	for len(e.events) > 0 && e.events[0].at <= e.cycle {
+		ev := heap.Pop(&e.events).(event)
+		ev.fn()
+	}
+	for _, t := range e.tickers {
+		t.Tick(e.cycle)
+	}
+	e.cycle++
+}
+
+// Run advances the simulation by n cycles.
+func (e *Engine) Run(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		e.Step()
+	}
+}
+
+// RunUntil advances the simulation until done reports true or the cycle
+// limit is reached. It returns true if done became true before the limit.
+func (e *Engine) RunUntil(done func() bool, limit uint64) bool {
+	for e.cycle < limit {
+		if done() {
+			return true
+		}
+		e.Step()
+	}
+	return done()
+}

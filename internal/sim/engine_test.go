@@ -1,0 +1,127 @@
+package sim
+
+import "testing"
+
+func TestEngineClock(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatal("fresh engine must start at cycle 0")
+	}
+	e.Run(10)
+	if e.Now() != 10 {
+		t.Fatalf("Now = %d, want 10", e.Now())
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.After(5, func() { order = append(order, 2) })
+	e.After(3, func() { order = append(order, 1) })
+	e.After(5, func() { order = append(order, 3) }) // same cycle, later schedule
+	e.Run(10)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestEventFiresAtExactCycle(t *testing.T) {
+	e := NewEngine()
+	var fired uint64
+	e.After(7, func() { fired = e.Now() })
+	e.Run(20)
+	if fired != 7 {
+		t.Fatalf("event fired at %d, want 7", fired)
+	}
+}
+
+func TestZeroDelayEventRunsNextStep(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.After(0, func() { ran = true })
+	e.Step()
+	if !ran {
+		t.Fatal("zero-delay event must run on the next Step")
+	}
+}
+
+func TestEventMayScheduleSameCycle(t *testing.T) {
+	e := NewEngine()
+	var hits []uint64
+	e.After(2, func() {
+		hits = append(hits, e.Now())
+		e.After(0, func() { hits = append(hits, e.Now()) })
+	})
+	e.Run(5)
+	if len(hits) != 2 || hits[0] != 2 || hits[1] != 2 {
+		t.Fatalf("hits = %v, want [2 2]", hits)
+	}
+}
+
+func TestAtClampsPast(t *testing.T) {
+	e := NewEngine()
+	e.Run(5)
+	ran := false
+	e.At(2, func() { ran = true }) // in the past
+	e.Step()
+	if !ran {
+		t.Fatal("past-scheduled event must fire on next Step")
+	}
+}
+
+func TestTickersRunEveryCycle(t *testing.T) {
+	e := NewEngine()
+	var ticks []uint64
+	e.Register(TickerFunc(func(c uint64) { ticks = append(ticks, c) }))
+	e.Run(3)
+	if len(ticks) != 3 || ticks[0] != 0 || ticks[2] != 2 {
+		t.Fatalf("ticks = %v", ticks)
+	}
+}
+
+func TestEventsBeforeTickersWithinStep(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Register(TickerFunc(func(c uint64) {
+		if c == 1 {
+			order = append(order, "tick")
+		}
+	}))
+	e.After(1, func() { order = append(order, "event") })
+	e.Run(3)
+	if len(order) != 2 || order[0] != "event" || order[1] != "tick" {
+		t.Fatalf("order = %v, want [event tick]", order)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	done := false
+	e.After(4, func() { done = true })
+	if !e.RunUntil(func() bool { return done }, 100) {
+		t.Fatal("RunUntil should have succeeded")
+	}
+	if e.Now() > 6 {
+		t.Fatalf("ran too long: %d", e.Now())
+	}
+	e2 := NewEngine()
+	if e2.RunUntil(func() bool { return false }, 50) {
+		t.Fatal("RunUntil should have hit the limit")
+	}
+	if e2.Now() != 50 {
+		t.Fatalf("limit stop at %d, want 50", e2.Now())
+	}
+}
+
+func TestPending(t *testing.T) {
+	e := NewEngine()
+	e.After(1, func() {})
+	e.After(2, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	e.Run(5)
+	if e.Pending() != 0 {
+		t.Fatalf("Pending after run = %d, want 0", e.Pending())
+	}
+}

@@ -1,0 +1,169 @@
+// Package stats provides the lightweight counters and latency accumulators
+// used throughout the simulator to produce the paper's metrics: average L2
+// hit latency, migration counts, IPC inputs, and network traffic.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	n uint64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds delta to the counter.
+func (c *Counter) Add(delta uint64) { c.n += delta }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.n = 0 }
+
+// Latency accumulates per-event latencies (in cycles) and reports their
+// mean, extremes, and total.
+type Latency struct {
+	count uint64
+	sum   uint64
+	min   uint64
+	max   uint64
+}
+
+// Observe records one latency sample.
+func (l *Latency) Observe(cycles uint64) {
+	if l.count == 0 || cycles < l.min {
+		l.min = cycles
+	}
+	if cycles > l.max {
+		l.max = cycles
+	}
+	l.count++
+	l.sum += cycles
+}
+
+// Count returns the number of samples observed.
+func (l *Latency) Count() uint64 { return l.count }
+
+// Sum returns the total of all samples.
+func (l *Latency) Sum() uint64 { return l.sum }
+
+// Mean returns the average sample, or 0 with no samples.
+func (l *Latency) Mean() float64 {
+	if l.count == 0 {
+		return 0
+	}
+	return float64(l.sum) / float64(l.count)
+}
+
+// Min returns the smallest sample, or 0 with no samples.
+func (l *Latency) Min() uint64 { return l.min }
+
+// Max returns the largest sample observed.
+func (l *Latency) Max() uint64 { return l.max }
+
+// Reset clears all samples.
+func (l *Latency) Reset() { *l = Latency{} }
+
+// String summarizes the accumulator.
+func (l *Latency) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f min=%d max=%d", l.count, l.Mean(), l.min, l.max)
+}
+
+// Histogram is a fixed-bucket histogram for cycle-valued samples. Bucket i
+// holds samples in [i*width, (i+1)*width); the final bucket is open-ended.
+type Histogram struct {
+	width   uint64
+	buckets []uint64
+	total   uint64
+}
+
+// NewHistogram creates a histogram with n buckets of the given width.
+// Width must be at least 1 and n at least 1.
+func NewHistogram(n int, width uint64) *Histogram {
+	if n < 1 || width < 1 {
+		panic("stats: histogram needs n >= 1 and width >= 1")
+	}
+	return &Histogram{width: width, buckets: make([]uint64, n)}
+}
+
+// Observe adds a sample to the appropriate bucket.
+func (h *Histogram) Observe(v uint64) {
+	i := int(v / h.width)
+	if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	h.buckets[i]++
+	h.total++
+}
+
+// Total returns the number of samples.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Bucket returns the count in bucket i.
+func (h *Histogram) Bucket(i int) uint64 { return h.buckets[i] }
+
+// NumBuckets returns the number of buckets.
+func (h *Histogram) NumBuckets() int { return len(h.buckets) }
+
+// Percentile returns the smallest bucket upper bound at or below which at
+// least p (0..100) percent of the samples fall. Returns 0 for an empty
+// histogram.
+func (h *Histogram) Percentile(p float64) uint64 {
+	if h.total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(float64(h.total) * p / 100))
+	var cum uint64
+	for i, b := range h.buckets {
+		cum += b
+		if cum >= target {
+			return uint64(i+1) * h.width
+		}
+	}
+	return uint64(len(h.buckets)) * h.width
+}
+
+// Set is a named collection of counters, handy for dumping simulator
+// summaries in a stable order.
+type Set struct {
+	counters map[string]*Counter
+}
+
+// NewSet returns an empty counter set.
+func NewSet() *Set {
+	return &Set{counters: make(map[string]*Counter)}
+}
+
+// Counter returns the counter with the given name, creating it on first use.
+func (s *Set) Counter(name string) *Counter {
+	c, ok := s.counters[name]
+	if !ok {
+		c = &Counter{}
+		s.counters[name] = c
+	}
+	return c
+}
+
+// Names returns all counter names in sorted order.
+func (s *Set) Names() []string {
+	names := make([]string, 0, len(s.counters))
+	for n := range s.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Value returns the value of the named counter, or 0 if absent.
+func (s *Set) Value(name string) uint64 {
+	if c, ok := s.counters[name]; ok {
+		return c.Value()
+	}
+	return 0
+}

@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Value() != 0 {
+		t.Fatal("fresh counter not zero")
+	}
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("Value = %d, want 5", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatal("Reset did not zero counter")
+	}
+}
+
+func TestLatencyBasics(t *testing.T) {
+	var l Latency
+	if l.Mean() != 0 {
+		t.Fatal("empty latency mean must be 0")
+	}
+	for _, v := range []uint64{10, 20, 30} {
+		l.Observe(v)
+	}
+	if l.Count() != 3 || l.Sum() != 60 {
+		t.Fatalf("count=%d sum=%d", l.Count(), l.Sum())
+	}
+	if l.Mean() != 20 {
+		t.Fatalf("Mean = %f, want 20", l.Mean())
+	}
+	if l.Min() != 10 || l.Max() != 30 {
+		t.Fatalf("min=%d max=%d", l.Min(), l.Max())
+	}
+	l.Reset()
+	if l.Count() != 0 || l.Mean() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestLatencyInvariants(t *testing.T) {
+	f := func(samples []uint16) bool {
+		var l Latency
+		var sum uint64
+		for _, s := range samples {
+			l.Observe(uint64(s))
+			sum += uint64(s)
+		}
+		if len(samples) == 0 {
+			return l.Count() == 0
+		}
+		if l.Sum() != sum || l.Count() != uint64(len(samples)) {
+			return false
+		}
+		return l.Min() <= l.Max() &&
+			float64(l.Min()) <= l.Mean() && l.Mean() <= float64(l.Max())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10, 5)
+	for v := uint64(0); v < 50; v++ {
+		h.Observe(v)
+	}
+	if h.Total() != 50 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	for i := 0; i < 10; i++ {
+		if h.Bucket(i) != 5 {
+			t.Fatalf("Bucket(%d) = %d, want 5", i, h.Bucket(i))
+		}
+	}
+	if h.Percentile(50) != 25 {
+		t.Fatalf("P50 = %d, want 25", h.Percentile(50))
+	}
+	// Overflow lands in the last bucket.
+	h.Observe(1000)
+	if h.Bucket(9) != 6 {
+		t.Fatalf("overflow bucket = %d, want 6", h.Bucket(9))
+	}
+	if h.NumBuckets() != 10 {
+		t.Fatalf("NumBuckets = %d", h.NumBuckets())
+	}
+}
+
+func TestHistogramEmptyPercentile(t *testing.T) {
+	h := NewHistogram(4, 2)
+	if h.Percentile(99) != 0 {
+		t.Fatal("empty histogram percentile must be 0")
+	}
+}
+
+func TestHistogramPanicsOnBadArgs(t *testing.T) {
+	for _, args := range [][2]int{{0, 1}, {1, 0}, {-1, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%d,%d) did not panic", args[0], args[1])
+				}
+			}()
+			NewHistogram(args[0], uint64(args[1]))
+		}()
+	}
+}
+
+func TestSet(t *testing.T) {
+	s := NewSet()
+	s.Counter("b").Add(2)
+	s.Counter("a").Inc()
+	s.Counter("b").Inc()
+	names := s.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("Names = %v", names)
+	}
+	if s.Value("a") != 1 || s.Value("b") != 3 {
+		t.Fatalf("a=%d b=%d", s.Value("a"), s.Value("b"))
+	}
+	if s.Value("missing") != 0 {
+		t.Fatal("missing counter must read 0")
+	}
+}

@@ -1,0 +1,178 @@
+// Package thermal is the reproduction's stand-in for HS3d, the 3D thermal
+// estimation tool the paper uses to validate CPU placement (Table 3). It
+// models the chip as a steady-state thermal resistance grid — one cell per
+// mesh node per layer — with lateral conduction within layers, vertical
+// conduction between bonded wafers, and a heat sink attached below layer 0.
+// The per-core power budget follows the paper's Niagara-derived estimate
+// (8 W per core of a 79 W chip, the rest in L2 and peripheral circuits);
+// cache banks are clock-gated and draw only background power.
+//
+// Calibration: the sink conductance reproduces the paper's 2D average
+// temperature, and the vertical conductance its 2L/4L averages; these are
+// single scalar fits, after which every *trend* in Table 3 (stacking vs.
+// offsetting, the effect of the offset distance k, the layer-count
+// penalty) emerges from the physics of the grid.
+package thermal
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Params are the thermal model constants.
+type Params struct {
+	// AmbientC is the ambient (and heat-sink reference) temperature.
+	AmbientC float64
+	// CPUPowerW is dissipated by each processor cell (Section 3.3: 8 W).
+	CPUPowerW float64
+	// CellPowerW is the background power of every cell (clock-gated cache
+	// bank plus its router share).
+	CellPowerW float64
+	// GSink is the per-cell conductance from layer 0 to the sink (W/K).
+	GSink float64
+	// GLat is the conductance between lateral neighbors on the base layer
+	// (layer 0), which keeps its bulk substrate and heat spreader.
+	GLat float64
+	// GLatThin is the lateral conductance on bonded upper layers, which are
+	// thinned to tens of microns (Section 2.3) and spread heat poorly —
+	// the physical reason stacked CPUs create hotspots.
+	GLatThin float64
+	// GVert is the conductance between vertically adjacent cells (W/K).
+	GVert float64
+}
+
+// DefaultParams returns the calibrated constants (see the package comment).
+func DefaultParams() Params {
+	return Params{
+		AmbientC:   45.0,
+		CPUPowerW:  8.0,
+		CellPowerW: 0.0586, // (79 W - 8x8 W) / 256 cells
+		GSink:      0.03444,
+		GLat:       0.030,
+		GLatThin:   0.012,
+		GVert:      0.18,
+	}
+}
+
+// Grid is the discretized chip.
+type Grid struct {
+	dim   geom.Dim
+	prm   Params
+	power []float64
+	temp  []float64
+}
+
+// NewGrid builds a grid with every cell at background power and ambient
+// temperature.
+func NewGrid(dim geom.Dim, prm Params) *Grid {
+	g := &Grid{
+		dim:   dim,
+		prm:   prm,
+		power: make([]float64, dim.Nodes()),
+		temp:  make([]float64, dim.Nodes()),
+	}
+	for i := range g.power {
+		g.power[i] = prm.CellPowerW
+		g.temp[i] = prm.AmbientC
+	}
+	return g
+}
+
+// AddPower adds dissipation to one cell (e.g. a CPU's 8 W).
+func (g *Grid) AddPower(c geom.Coord, watts float64) {
+	g.power[g.dim.Index(c)] += watts
+}
+
+// TotalPower returns the chip's total dissipation.
+func (g *Grid) TotalPower() float64 {
+	sum := 0.0
+	for _, p := range g.power {
+		sum += p
+	}
+	return sum
+}
+
+// Solve runs Gauss–Seidel iterations until the largest per-cell update
+// falls below tol (kelvin) or maxIter is reached, returning the iteration
+// count used.
+func (g *Grid) Solve(maxIter int, tol float64) int {
+	d := g.dim
+	for iter := 1; iter <= maxIter; iter++ {
+		maxDelta := 0.0
+		for i := range g.temp {
+			c := d.CoordOf(i)
+			num := g.power[i]
+			den := 0.0
+			if c.Layer == 0 {
+				num += g.prm.GSink * g.prm.AmbientC
+				den += g.prm.GSink
+			}
+			glat := g.prm.GLat
+			if c.Layer > 0 {
+				glat = g.prm.GLatThin
+			}
+			for _, dir := range []geom.Direction{geom.North, geom.South, geom.East, geom.West} {
+				n := geom.Step(c, dir)
+				if d.Contains(n) {
+					num += glat * g.temp[d.Index(n)]
+					den += glat
+				}
+			}
+			for _, dl := range []int{-1, 1} {
+				n := geom.Coord{X: c.X, Y: c.Y, Layer: c.Layer + dl}
+				if d.Contains(n) {
+					num += g.prm.GVert * g.temp[d.Index(n)]
+					den += g.prm.GVert
+				}
+			}
+			t := num / den
+			if delta := math.Abs(t - g.temp[i]); delta > maxDelta {
+				maxDelta = delta
+			}
+			g.temp[i] = t
+		}
+		if maxDelta < tol {
+			return iter
+		}
+	}
+	return maxIter
+}
+
+// Temp returns the solved temperature of a cell.
+func (g *Grid) Temp(c geom.Coord) float64 { return g.temp[g.dim.Index(c)] }
+
+// Profile is one row of Table 3.
+type Profile struct {
+	PeakC float64
+	AvgC  float64
+	MinC  float64
+}
+
+// Profile extracts the peak, average and minimum cell temperatures.
+func (g *Grid) Profile() Profile {
+	p := Profile{PeakC: g.temp[0], MinC: g.temp[0]}
+	sum := 0.0
+	for _, t := range g.temp {
+		if t > p.PeakC {
+			p.PeakC = t
+		}
+		if t < p.MinC {
+			p.MinC = t
+		}
+		sum += t
+	}
+	p.AvgC = sum / float64(len(g.temp))
+	return p
+}
+
+// Simulate builds the grid for a chip with the given dimensions and CPU
+// placement, solves it, and returns the thermal profile.
+func Simulate(dim geom.Dim, cpus []geom.Coord, prm Params) Profile {
+	g := NewGrid(dim, prm)
+	for _, c := range cpus {
+		g.AddPower(c, prm.CPUPowerW)
+	}
+	g.Solve(20000, 1e-7)
+	return g.Profile()
+}

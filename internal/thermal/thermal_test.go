@@ -1,0 +1,183 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestGridConservation(t *testing.T) {
+	// In steady state, the heat entering the sink equals the total power:
+	// sum over layer-0 cells of GSink*(T - Tamb) == TotalPower.
+	prm := DefaultParams()
+	dim := geom.Dim{Width: 8, Height: 8, Layers: 2}
+	g := NewGrid(dim, prm)
+	g.AddPower(geom.Coord{X: 3, Y: 3, Layer: 1}, prm.CPUPowerW)
+	g.Solve(50000, 1e-9)
+
+	sunk := 0.0
+	for y := 0; y < dim.Height; y++ {
+		for x := 0; x < dim.Width; x++ {
+			sunk += prm.GSink * (g.Temp(geom.Coord{X: x, Y: y}) - prm.AmbientC)
+		}
+	}
+	if math.Abs(sunk-g.TotalPower()) > 0.01*g.TotalPower() {
+		t.Errorf("heat into sink %.3f W, total power %.3f W", sunk, g.TotalPower())
+	}
+}
+
+func TestHotspotAboveCPU(t *testing.T) {
+	prm := DefaultParams()
+	dim := geom.Dim{Width: 8, Height: 8, Layers: 1}
+	g := NewGrid(dim, prm)
+	cpu := geom.Coord{X: 2, Y: 5}
+	g.AddPower(cpu, prm.CPUPowerW)
+	g.Solve(20000, 1e-8)
+	peak := g.Profile().PeakC
+	if g.Temp(cpu) != peak {
+		t.Errorf("peak %.2f not at the CPU cell (%.2f)", peak, g.Temp(cpu))
+	}
+	// Temperature decays with distance from the hotspot.
+	if g.Temp(geom.Coord{X: 3, Y: 5}) >= g.Temp(cpu) {
+		t.Error("neighbor not cooler than hotspot")
+	}
+	if g.Temp(geom.Coord{X: 7, Y: 0}) >= g.Temp(geom.Coord{X: 3, Y: 5}) {
+		t.Error("far corner not cooler than hotspot neighbor")
+	}
+}
+
+func TestUpperLayerRunsHotter(t *testing.T) {
+	// Same power on layer 1 yields a hotter cell than on layer 0: bonded
+	// layers sit behind the inter-wafer resistance.
+	prm := DefaultParams()
+	dim := geom.Dim{Width: 8, Height: 8, Layers: 2}
+	g0 := NewGrid(dim, prm)
+	g0.AddPower(geom.Coord{X: 4, Y: 4, Layer: 0}, prm.CPUPowerW)
+	g0.Solve(20000, 1e-8)
+	g1 := NewGrid(dim, prm)
+	g1.AddPower(geom.Coord{X: 4, Y: 4, Layer: 1}, prm.CPUPowerW)
+	g1.Solve(20000, 1e-8)
+	if g1.Profile().PeakC <= g0.Profile().PeakC {
+		t.Errorf("layer-1 peak %.2f not above layer-0 peak %.2f",
+			g1.Profile().PeakC, g0.Profile().PeakC)
+	}
+}
+
+func TestStackingCreatesHotspot(t *testing.T) {
+	prm := DefaultParams()
+	dim := geom.Dim{Width: 8, Height: 8, Layers: 2}
+
+	stacked := Simulate(dim, []geom.Coord{
+		{X: 4, Y: 4, Layer: 0}, {X: 4, Y: 4, Layer: 1},
+	}, prm)
+	offset := Simulate(dim, []geom.Coord{
+		{X: 2, Y: 2, Layer: 0}, {X: 6, Y: 6, Layer: 1},
+	}, prm)
+
+	if stacked.PeakC <= offset.PeakC {
+		t.Errorf("stacked peak %.2f not above offset peak %.2f", stacked.PeakC, offset.PeakC)
+	}
+	// Same total power, same footprint: averages nearly equal.
+	if math.Abs(stacked.AvgC-offset.AvgC) > 0.5 {
+		t.Errorf("averages diverge: %.2f vs %.2f", stacked.AvgC, offset.AvgC)
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	rows, err := Table3(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("got %d rows, want 7", len(rows))
+	}
+	byName := map[string]Profile{}
+	for _, r := range rows {
+		byName[r.Name] = r.Profile
+	}
+	p := func(name string) Profile {
+		prof, ok := byName[name]
+		if !ok {
+			t.Fatalf("missing row %q", name)
+		}
+		return prof
+	}
+
+	// The paper's qualitative findings, in order of the text:
+	// 1. Moving 2D -> 3D raises the average temperature.
+	if p("3D-2L, optimal offset").AvgC <= p("2D, maximal offset").AvgC {
+		t.Error("3D average not above 2D average")
+	}
+	if p("3D-4L, optimal offset").AvgC <= p("3D-2L, optimal offset").AvgC {
+		t.Error("4L average not above 2L average")
+	}
+	// 2. Offsetting in all three dimensions gives the best 3D peak.
+	if p("3D-2L, optimal offset").PeakC >= p("3D-2L, offset k=1").PeakC {
+		t.Error("optimal offset not cooler than k=1")
+	}
+	// 3. Increasing k reduces peak temperature.
+	if p("3D-2L, offset k=2").PeakC >= p("3D-2L, offset k=1").PeakC {
+		t.Error("k=2 not cooler than k=1")
+	}
+	// 4. Stacking is detrimental in both 2L and 4L.
+	if p("3D-2L, CPU stacking").PeakC <= p("3D-2L, offset k=1").PeakC {
+		t.Error("2L stacking not hotter than any offsetting")
+	}
+	if p("3D-4L, CPU stacking").PeakC <= p("3D-4L, optimal offset").PeakC {
+		t.Error("4L stacking not hotter than 4L offsetting")
+	}
+	// 5. Peak ordering across layer counts with stacking is dramatic.
+	if p("3D-4L, CPU stacking").PeakC <= p("3D-2L, CPU stacking").PeakC {
+		t.Error("4L stacking not hotter than 2L stacking")
+	}
+
+	// Quantitative anchors (calibrated rows should track the paper).
+	checks := []struct {
+		name string
+		got  float64
+		want float64
+		tol  float64
+	}{
+		{"2D peak", p("2D, maximal offset").PeakC, 111.05, 6},
+		{"2D avg", p("2D, maximal offset").AvgC, 53.96, 1},
+		{"2L avg", p("3D-2L, optimal offset").AvgC, 63.94, 1},
+		{"4L avg", p("3D-4L, optimal offset").AvgC, 86.62, 1.5},
+		{"2L stacking peak", p("3D-2L, CPU stacking").PeakC, 173.38, 12},
+		{"4L stacking peak", p("3D-4L, CPU stacking").PeakC, 287.12, 20},
+		{"3D-2L optimal peak", p("3D-2L, optimal offset").PeakC, 119.05, 12},
+		{"k=1 peak", p("3D-2L, offset k=1").PeakC, 135.24, 20},
+	}
+	for _, c := range checks {
+		if math.Abs(c.got-c.want) > c.tol {
+			t.Errorf("%s = %.2f, want %.2f +/- %.1f", c.name, c.got, c.want, c.tol)
+		}
+	}
+}
+
+func TestSolverConverges(t *testing.T) {
+	prm := DefaultParams()
+	g := NewGrid(geom.Dim{Width: 4, Height: 4, Layers: 1}, prm)
+	iters := g.Solve(100000, 1e-9)
+	if iters >= 100000 {
+		t.Error("solver did not converge")
+	}
+	// A uniform grid settles near ambient + power/sink conductance.
+	want := prm.AmbientC + prm.CellPowerW/prm.GSink
+	got := g.Profile().AvgC
+	if math.Abs(got-want) > 0.1 {
+		t.Errorf("uniform grid avg %.3f, want %.3f", got, want)
+	}
+}
+
+func TestTotalPowerIndependentOfPlacement(t *testing.T) {
+	prm := DefaultParams()
+	dim := geom.Dim{Width: 8, Height: 8, Layers: 2}
+	a := NewGrid(dim, prm)
+	a.AddPower(geom.Coord{X: 1, Y: 1}, 8)
+	b := NewGrid(dim, prm)
+	b.AddPower(geom.Coord{X: 7, Y: 7, Layer: 1}, 8)
+	if math.Abs(a.TotalPower()-b.TotalPower()) > 1e-9 {
+		t.Error("placement changed total power")
+	}
+}

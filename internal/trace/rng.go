@@ -1,0 +1,41 @@
+package trace
+
+// rng is a xorshift64* PRNG: deterministic, seedable, allocation-free. All
+// stochastic behavior in the workload generator flows through it so that
+// every simulation is exactly reproducible from its seed.
+type rng struct {
+	state uint64
+}
+
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15 // golden-ratio constant; zero state is absorbing
+	}
+	return &rng{state: seed}
+}
+
+// next returns the next 64-bit pseudo-random value.
+func (r *rng) next() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// intn returns a pseudo-random int in [0, n).
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		panic("trace: intn with n <= 0")
+	}
+	return int(r.next() % uint64(n))
+}
+
+// float returns a pseudo-random float64 in [0, 1).
+func (r *rng) float() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// chance reports true with probability p.
+func (r *rng) chance(p float64) bool { return r.float() < p }

@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/cache"
+)
+
+// Stream supplies one core's memory references. Generator is the built-in
+// synthetic implementation; FileStream replays externally captured traces,
+// so the simulator can be driven by real workloads (e.g. Pin or DynamoRIO
+// address traces) instead of the SPEC OMP models.
+type Stream interface {
+	// Next returns the next reference. Streams are infinite: replayed
+	// traces wrap around at the end.
+	Next() Ref
+}
+
+// Generator implements Stream.
+var _ Stream = (*Generator)(nil)
+
+// FileStream replays a parsed reference trace, wrapping at the end.
+type FileStream struct {
+	refs []Ref
+	pos  int
+}
+
+var _ Stream = (*FileStream)(nil)
+
+// ParseTrace reads a text trace: one reference per line,
+//
+//	R <hex line address>
+//	W <hex line address>
+//	F <hex line address>   (instruction fetch)
+//	# comment
+//
+// An optional third field gives the non-memory instruction gap before the
+// reference (default 2). Instruction-fetch lines attach to the following
+// data reference.
+func ParseTrace(r io.Reader) (*FileStream, error) {
+	s := bufio.NewScanner(r)
+	var refs []Ref
+	var pendingCode cache.LineAddr
+	hasPending := false
+	lineNo := 0
+	for s.Scan() {
+		lineNo++
+		line := strings.TrimSpace(s.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("trace: line %d: want 'R|W|F <hexaddr> [gap]', got %q", lineNo, line)
+		}
+		addr, err := strconv.ParseUint(strings.TrimPrefix(fields[1], "0x"), 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad address %q: %v", lineNo, fields[1], err)
+		}
+		gap := 2
+		if len(fields) >= 3 {
+			gap, err = strconv.Atoi(fields[2])
+			if err != nil || gap < 0 {
+				return nil, fmt.Errorf("trace: line %d: bad gap %q", lineNo, fields[2])
+			}
+		}
+		op := strings.ToUpper(fields[0])
+		switch op {
+		case "F":
+			pendingCode = cache.LineAddr(addr)
+			hasPending = true
+		case "R", "W":
+			ref := Ref{Addr: cache.LineAddr(addr), Write: op == "W", Gap: gap}
+			if hasPending {
+				ref.HasCode = true
+				ref.Code = pendingCode
+				hasPending = false
+			}
+			refs = append(refs, ref)
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown op %q", lineNo, op)
+		}
+	}
+	if err := s.Err(); err != nil {
+		return nil, err
+	}
+	if hasPending {
+		return nil, fmt.Errorf("trace: dangling instruction fetch at end of trace (no following data reference)")
+	}
+	if len(refs) == 0 {
+		return nil, fmt.Errorf("trace: no references")
+	}
+	return &FileStream{refs: refs}, nil
+}
+
+// Len returns the number of references before the stream wraps.
+func (f *FileStream) Len() int { return len(f.refs) }
+
+// Next returns the next reference, wrapping at the end of the trace.
+func (f *FileStream) Next() Ref {
+	r := f.refs[f.pos]
+	f.pos++
+	if f.pos == len(f.refs) {
+		f.pos = 0
+	}
+	return r
+}
+
+// Footprint returns the distinct data lines the trace touches, for sizing
+// warm-up expectations.
+func (f *FileStream) Footprint() []cache.LineAddr {
+	seen := make(map[cache.LineAddr]bool)
+	var out []cache.LineAddr
+	for _, r := range f.refs {
+		if !seen[r.Addr] {
+			seen[r.Addr] = true
+			out = append(out, r.Addr)
+		}
+	}
+	return out
+}

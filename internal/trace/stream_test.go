@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cache"
+)
+
+const sampleTrace = `
+# demo trace
+R 1000
+W 1001 5
+F 2000
+R 1002
+R 0x1003
+`
+
+func TestParseTrace(t *testing.T) {
+	fs, err := ParseTrace(strings.NewReader(sampleTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Len() != 4 {
+		t.Fatalf("Len = %d, want 4 data refs", fs.Len())
+	}
+	r := fs.Next()
+	if r.Addr != 0x1000 || r.Write || r.Gap != 2 {
+		t.Errorf("ref 0 = %+v", r)
+	}
+	r = fs.Next()
+	if r.Addr != 0x1001 || !r.Write || r.Gap != 5 {
+		t.Errorf("ref 1 = %+v", r)
+	}
+	// The F line attaches to the following reference.
+	r = fs.Next()
+	if !r.HasCode || r.Code != 0x2000 || r.Addr != 0x1002 {
+		t.Errorf("ref 2 = %+v", r)
+	}
+	r = fs.Next()
+	if r.HasCode || r.Addr != 0x1003 {
+		t.Errorf("ref 3 = %+v", r)
+	}
+}
+
+func TestFileStreamWraps(t *testing.T) {
+	fs, err := ParseTrace(strings.NewReader("R 10\nR 20\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, c := fs.Next(), fs.Next(), fs.Next()
+	if a.Addr != 0x10 || b.Addr != 0x20 || c.Addr != 0x10 {
+		t.Errorf("wrap sequence %x %x %x", a.Addr, b.Addr, c.Addr)
+	}
+}
+
+func TestParseTraceErrors(t *testing.T) {
+	cases := []string{
+		"",               // empty
+		"R\n",            // missing address
+		"R zzz\n",        // bad address
+		"R 10 notanum\n", // bad gap
+		"X 10\n",         // unknown op
+		"# only comments\n",
+	}
+	for i, c := range cases {
+		if _, err := ParseTrace(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: accepted %q", i, c)
+		}
+	}
+}
+
+func TestFootprint(t *testing.T) {
+	fs, err := ParseTrace(strings.NewReader("R 10\nW 20\nR 10\nR 30\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := fs.Footprint()
+	if len(fp) != 3 {
+		t.Fatalf("footprint = %v", fp)
+	}
+	want := map[cache.LineAddr]bool{0x10: true, 0x20: true, 0x30: true}
+	for _, a := range fp {
+		if !want[a] {
+			t.Errorf("unexpected footprint line %#x", uint64(a))
+		}
+	}
+}
+
+func TestInstanceSeparatesNamespaces(t *testing.T) {
+	p, _ := ProfileByName("art", 8)
+	q := p
+	q.Instance = 1
+	if p.SharedRegion().Line(0) == q.SharedRegion().Line(0) {
+		t.Error("instances share shared-region addresses")
+	}
+	if p.CodeRegion().Line(0) == q.CodeRegion().Line(0) {
+		t.Error("instances share code-region addresses")
+	}
+	// Contains respects namespaces.
+	if p.SharedRegion().Contains(q.SharedRegion().Line(3)) {
+		t.Error("instance 0 region claims instance 1 addresses")
+	}
+}
+
+func TestRegionLineInjective(t *testing.T) {
+	// Property: distinct indices of one region map to distinct addresses
+	// (the frame scatter is a bijection), and hashed regions spread pages
+	// over every home cluster.
+	f := func(id uint8, seqBit bool) bool {
+		r := Region{id: uint64(id), n: 1 << 15, seq: seqBit}
+		seen := map[cache.LineAddr]bool{}
+		homes := map[uint64]bool{}
+		for j := 0; j < r.n; j += 17 { // sample
+			a := r.Line(j)
+			if seen[a] {
+				return false
+			}
+			seen[a] = true
+			homes[(uint64(a)>>10)&15] = true
+		}
+		if !seqBit && len(homes) != 16 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegionsDisjoint(t *testing.T) {
+	// Property: regions with different ids never overlap.
+	a := Region{id: 3, n: 4096}
+	b := Region{id: 4, n: 4096, seq: true}
+	seen := map[cache.LineAddr]bool{}
+	for j := 0; j < a.n; j++ {
+		seen[a.Line(j)] = true
+	}
+	for j := 0; j < b.n; j++ {
+		if seen[b.Line(j)] {
+			t.Fatalf("regions 3 and 4 overlap at index %d", j)
+		}
+	}
+}
+
+func TestParseTraceRejectsDanglingFetch(t *testing.T) {
+	if _, err := ParseTrace(strings.NewReader("R 10\nF 20\n")); err == nil {
+		t.Error("dangling F accepted")
+	}
+}

@@ -1,0 +1,162 @@
+// Package nim is the public API of the Network-in-Memory simulator: a
+// reproduction of "Design and Management of 3D Chip Multiprocessors Using
+// Network-in-Memory" (Li et al., ISCA 2006).
+//
+// The library simulates a chip multiprocessor whose large shared L2 cache
+// is distributed over a 3D stack of device layers: each layer carries a
+// wormhole-switched mesh network-on-chip connecting cache banks, and
+// dynamic-TDMA bus "pillars" provide single-hop vertical communication.
+// Four L2 organizations are modeled, matching the paper's evaluation:
+//
+//	CMPDNUCA    — 2D baseline (Beckmann & Wood), edge CPUs, perfect search
+//	CMPDNUCA2D  — the paper's 2D scheme: mid-cluster CPUs, two-step search
+//	CMPSNUCA3D  — 3D, static placement, no migration
+//	CMPDNUCA3D  — 3D with dynamic cache-line migration
+//
+// Quick start:
+//
+//	cfg := nim.DefaultConfig(nim.CMPDNUCA3D)
+//	bench, _ := nim.BenchmarkByName("mgrid", cfg.NumCPUs)
+//	sim, _ := nim.NewSimulation(cfg, bench, 1)
+//	sim.Warm()
+//	sim.Start()
+//	sim.Run(50_000)  // settle
+//	sim.ResetStats()
+//	sim.Run(200_000) // measure
+//	fmt.Println(sim.Results().AvgL2HitLatency)
+//
+// The deeper layers are available under internal/ (noc, dtdma, fabric,
+// cache, placement, thermal, power, trace, core); this package re-exports
+// everything needed to reproduce the paper's tables and figures.
+package nim
+
+import (
+	"io"
+
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/thermal"
+	"repro/internal/trace"
+)
+
+// Scheme selects one of the four evaluated L2 organizations.
+type Scheme = config.Scheme
+
+// The four schemes of Section 5.2.
+const (
+	CMPDNUCA   = config.CMPDNUCA
+	CMPDNUCA2D = config.CMPDNUCA2D
+	CMPSNUCA3D = config.CMPSNUCA3D
+	CMPDNUCA3D = config.CMPDNUCA3D
+)
+
+// Schemes lists all four schemes in the paper's presentation order.
+func Schemes() []Scheme {
+	return []Scheme{CMPDNUCA, CMPDNUCA2D, CMPSNUCA3D, CMPDNUCA3D}
+}
+
+// Config carries every simulation parameter (Table 4 defaults).
+type Config = config.Config
+
+// DefaultConfig returns the paper's Table 4 configuration for a scheme.
+func DefaultConfig(s Scheme) Config { return config.Default(s) }
+
+// Benchmark is a SPEC OMP workload profile (Table 5).
+type Benchmark = trace.Profile
+
+// Benchmarks returns the nine SPEC OMP profiles for a CPU count.
+func Benchmarks(ncpu int) []Benchmark { return trace.Profiles(ncpu) }
+
+// BenchmarkByName finds one benchmark profile by name.
+func BenchmarkByName(name string, ncpu int) (Benchmark, bool) {
+	return trace.ProfileByName(name, ncpu)
+}
+
+// Results is the measurement summary of a simulation window.
+type Results = core.Results
+
+// LineAddr is a cache-line address (the byte address divided by 64).
+type LineAddr = cache.LineAddr
+
+// Stream supplies one core's memory references; implement it to drive the
+// simulator from a custom workload.
+type Stream = trace.Stream
+
+// FileStream replays a parsed trace file (see ParseTrace).
+type FileStream = trace.FileStream
+
+// ParseTrace reads a text reference trace: one "R|W|F <hexaddr> [gap]" per
+// line; see trace.ParseTrace for the full format.
+func ParseTrace(r io.Reader) (*FileStream, error) { return trace.ParseTrace(r) }
+
+// ThermalProfile is a peak/average/minimum temperature triple.
+type ThermalProfile = thermal.Profile
+
+// Simulation is one configured machine running one benchmark.
+type Simulation struct {
+	sys  *core.System
+	seed uint64
+}
+
+// NewSimulation builds a deterministic simulation running one benchmark on
+// every core.
+func NewSimulation(cfg Config, bench Benchmark, seed uint64) (*Simulation, error) {
+	sys, err := core.NewSystem(cfg, bench, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulation{sys: sys, seed: seed}, nil
+}
+
+// NewMixedSimulation builds a multiprogrammed machine: core i runs
+// benches[i]. Programs get disjoint address spaces; cores given the same
+// benchmark share its code and shared-data regions.
+func NewMixedSimulation(cfg Config, benches []Benchmark, seed uint64) (*Simulation, error) {
+	sys, err := core.NewSystemMixed(cfg, benches, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulation{sys: sys, seed: seed}, nil
+}
+
+// NewTraceSimulation builds a machine whose cores replay external reference
+// streams. Use WarmAddresses (e.g. with FileStream.Footprint) to pre-fill
+// the L2 before measuring.
+func NewTraceSimulation(cfg Config, streams []Stream, label string, seed uint64) (*Simulation, error) {
+	sys, err := core.NewSystemStreams(cfg, streams, label)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulation{sys: sys, seed: seed}, nil
+}
+
+// WarmAddresses installs the given lines at their home clusters — warm-up
+// for trace-driven simulations.
+func (s *Simulation) WarmAddresses(addrs []LineAddr) { s.sys.WarmAddresses(addrs) }
+
+// Warm installs the benchmark's post-warm-up steady state into the caches
+// (the paper's 500M-cycle warm-up, compressed; see internal/core.Warm).
+func (s *Simulation) Warm() { s.sys.Warm(s.seed) }
+
+// Start begins execution on every core.
+func (s *Simulation) Start() { s.sys.Start() }
+
+// Run advances the machine by n cycles.
+func (s *Simulation) Run(n uint64) { s.sys.Run(n) }
+
+// ResetStats discards measurements so far, keeping architectural state.
+func (s *Simulation) ResetStats() { s.sys.ResetStats() }
+
+// Results reads out the current measurement window.
+func (s *Simulation) Results() Results { return s.sys.Results() }
+
+// CheckInvariants verifies internal consistency (the L2 single-copy
+// invariant); it is primarily for tests and debugging.
+func (s *Simulation) CheckInvariants() error { return s.sys.CheckSingleCopy() }
+
+// WriteHeatmap renders per-layer ASCII router-utilization maps to w.
+func (s *Simulation) WriteHeatmap(w io.Writer) { s.sys.WriteHeatmap(w) }
+
+// WriteBusReport summarizes each pillar bus's traffic and utilization.
+func (s *Simulation) WriteBusReport(w io.Writer) { s.sys.BusReport(w) }
