@@ -10,6 +10,12 @@
 //	experiments -figure 13           # one figure (13..18)
 //	experiments -bench mgrid,swim    # restrict figure benchmarks
 //	experiments -measure 400000      # larger statistics window
+//	experiments -all -parallel 8     # fan independent runs over 8 workers
+//
+// Every simulation is deterministic in its seed and self-contained, so
+// -parallel only changes wall-clock time: the printed output is
+// byte-identical for any worker count (-parallel 1 runs strictly
+// sequentially, the historical behavior).
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -29,21 +36,22 @@ import (
 
 func main() {
 	var (
-		seeds   = flag.Int("seeds", 0, "repeat Figure 13/15 runs across N seeds and print mean +/- stddev")
-		scaling = flag.Bool("scaling", false, "run the CPU-count scaling study (4/8/16 cores)")
-		csvDir  = flag.String("csv", "", "also write each figure's data as CSV into this directory")
-		ablate  = flag.Bool("ablations", false, "run the design-choice ablations")
-		table   = flag.Int("table", 0, "reproduce one table (1..5)")
-		figure  = flag.Int("figure", 0, "reproduce one figure (13..18)")
-		all     = flag.Bool("all", false, "reproduce every table and figure")
-		benches = flag.String("bench", "", "comma-separated benchmark subset for figures")
-		warm    = flag.Uint64("warm", 50_000, "settle cycles before measurement")
-		measure = flag.Uint64("measure", 250_000, "measurement window in cycles")
-		seed    = flag.Uint64("seed", 1, "deterministic seed")
+		seeds    = flag.Int("seeds", 0, "repeat Figure 13/15 runs across N seeds and print mean +/- stddev")
+		scaling  = flag.Bool("scaling", false, "run the CPU-count scaling study (4/8/16 cores)")
+		csvDir   = flag.String("csv", "", "also write each figure's data as CSV into this directory")
+		ablate   = flag.Bool("ablations", false, "run the design-choice ablations")
+		table    = flag.Int("table", 0, "reproduce one table (1..5)")
+		figure   = flag.Int("figure", 0, "reproduce one figure (13..18)")
+		all      = flag.Bool("all", false, "reproduce every table and figure")
+		benches  = flag.String("bench", "", "comma-separated benchmark subset for figures")
+		warm     = flag.Uint64("warm", 50_000, "settle cycles before measurement")
+		measure  = flag.Uint64("measure", 250_000, "measurement window in cycles")
+		seed     = flag.Uint64("seed", 1, "deterministic seed")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = strictly sequential; output is identical either way)")
 	)
 	flag.Parse()
 
-	opt := nim.Options{WarmCycles: *warm, MeasureCycles: *measure, Seed: *seed}
+	opt := nim.Options{WarmCycles: *warm, MeasureCycles: *measure, Seed: *seed, Parallel: *parallel}
 	names := benchNames(*benches)
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -101,6 +109,23 @@ func benchNames(list string) []string {
 		return names
 	}
 	return strings.Split(list, ",")
+}
+
+// sweep fans a slice of independent simulation jobs over opt.Parallel
+// workers and returns their Results in input order, exiting on the first
+// failed job. Because job order is preserved and every simulation is
+// seed-deterministic, the caller's printed output does not depend on the
+// worker count.
+func sweep(jobs []nim.SweepJob, opt nim.Options) []nim.Results {
+	rs := nim.RunSweep(jobs, opt.Parallel, nil)
+	if err := nim.SweepError(rs); err != nil {
+		fatal(err)
+	}
+	out := make([]nim.Results, len(rs))
+	for i, r := range rs {
+		out[i] = r.Results
+	}
+	return out
 }
 
 // csvOut, when non-empty, receives one CSV file per figure.
@@ -202,13 +227,24 @@ func table5() {
 
 func figures131415(names []string, opt nim.Options) {
 	header("Figures 13/14/15: L2 hit latency, migrations, IPC under the four schemes")
-	var rows []schemeRow
+	// One job per benchmark x scheme; the sweep runner fans them out and
+	// hands results back in input order, so the tables print identically
+	// at any -parallel width.
+	schemes := nim.Schemes()
+	var jobs []nim.SweepJob
 	for _, b := range names {
-		res, err := nim.RunAllSchemes(b, opt)
-		if err != nil {
-			fatal(err)
+		for _, s := range schemes {
+			jobs = append(jobs, nim.NewSweepJob(nim.DefaultConfig(s), b, opt))
 		}
-		rows = append(rows, schemeRow{b, res})
+	}
+	res := sweep(jobs, opt)
+	var rows []schemeRow
+	for i, b := range names {
+		m := make(map[nim.Scheme]nim.Results, len(schemes))
+		for j, s := range schemes {
+			m[s] = res[i*len(schemes)+j]
+		}
+		rows = append(rows, schemeRow{b, m})
 	}
 
 	fmt.Println("\nFigure 13: average L2 hit latency (cycles)")
@@ -299,18 +335,26 @@ var figure16Benches = []string{"art", "galgel", "mgrid", "swim"}
 func figure16(names []string, opt nim.Options) {
 	header("Figure 16: L2 hit latency vs cache size (16/32/64 MB)")
 	use := intersect(names, figure16Benches)
+	sizes := []int{16, 32, 64}
+	var jobs []nim.SweepJob
+	for _, b := range use {
+		for _, mb := range sizes {
+			for _, s := range []nim.Scheme{nim.CMPDNUCA2D, nim.CMPDNUCA3D} {
+				cfg, err := nim.DefaultConfig(s).WithL2Size(mb)
+				if err != nil {
+					fatal(err)
+				}
+				jobs = append(jobs, nim.NewSweepJob(cfg, b, opt))
+			}
+		}
+	}
+	res := sweep(jobs, opt)
 	fmt.Printf("%-10s %6s %14s %14s\n", "Benchmark", "Size", "CMP-DNUCA-2D", "CMP-DNUCA-3D")
 	csvRows := [][]string{{"benchmark", "mb", "cmp-dnuca-2d", "cmp-dnuca-3d"}}
-	for _, b := range use {
-		for _, mb := range []int{16, 32, 64} {
-			r2, err := nim.RunWithL2Size(nim.CMPDNUCA2D, b, mb, opt)
-			if err != nil {
-				fatal(err)
-			}
-			r3, err := nim.RunWithL2Size(nim.CMPDNUCA3D, b, mb, opt)
-			if err != nil {
-				fatal(err)
-			}
+	for i, b := range use {
+		for j, mb := range sizes {
+			r2 := res[(i*len(sizes)+j)*2]
+			r3 := res[(i*len(sizes)+j)*2+1]
 			fmt.Printf("%-10s %4dMB %14.1f %14.1f\n", b, mb, r2.AvgL2HitLatency, r3.AvgL2HitLatency)
 			csvRows = append(csvRows, []string{b, strconv.Itoa(mb), f1(r2.AvgL2HitLatency), f1(r3.AvgL2HitLatency)})
 		}
@@ -322,16 +366,23 @@ func figure16(names []string, opt nim.Options) {
 func figure17(names []string, opt nim.Options) {
 	header("Figure 17: impact of the number of pillars (CMP-DNUCA-3D)")
 	use := intersect(names, figure16Benches)
+	pillars := []int{8, 4, 2}
+	var jobs []nim.SweepJob
+	for _, b := range use {
+		for _, p := range pillars {
+			cfg := nim.DefaultConfig(nim.CMPDNUCA3D)
+			cfg.NumPillars = p
+			jobs = append(jobs, nim.NewSweepJob(cfg, b, opt))
+		}
+	}
+	res := sweep(jobs, opt)
 	fmt.Printf("%-10s %10s %10s %10s\n", "Benchmark", "8 pillars", "4 pillars", "2 pillars")
 	csvRows := [][]string{{"benchmark", "pillars8", "pillars4", "pillars2"}}
-	for _, b := range use {
+	for i, b := range use {
 		fmt.Printf("%-10s", b)
 		row := []string{b}
-		for _, p := range []int{8, 4, 2} {
-			r, err := nim.RunWithPillars(b, p, opt)
-			if err != nil {
-				fatal(err)
-			}
+		for j := range pillars {
+			r := res[i*len(pillars)+j]
 			fmt.Printf(" %9.1f", r.AvgL2HitLatency)
 			row = append(row, f1(r.AvgL2HitLatency))
 		}
@@ -345,16 +396,23 @@ func figure17(names []string, opt nim.Options) {
 func figure18(names []string, opt nim.Options) {
 	header("Figure 18: impact of the number of layers (CMP-SNUCA-3D)")
 	use := intersect(names, figure16Benches)
+	layers := []int{2, 4}
+	var jobs []nim.SweepJob
+	for _, b := range use {
+		for _, l := range layers {
+			cfg := nim.DefaultConfig(nim.CMPSNUCA3D)
+			cfg.Layers = l
+			jobs = append(jobs, nim.NewSweepJob(cfg, b, opt))
+		}
+	}
+	res := sweep(jobs, opt)
 	fmt.Printf("%-10s %10s %10s\n", "Benchmark", "2 layers", "4 layers")
 	csvRows := [][]string{{"benchmark", "layers2", "layers4"}}
-	for _, b := range use {
+	for i, b := range use {
 		fmt.Printf("%-10s", b)
 		row := []string{b}
-		for _, l := range []int{2, 4} {
-			r, err := nim.RunWithLayers(b, l, opt)
-			if err != nil {
-				fatal(err)
-			}
+		for j := range layers {
+			r := res[i*len(layers)+j]
 			fmt.Printf(" %9.1f", r.AvgL2HitLatency)
 			row = append(row, f1(r.AvgL2HitLatency))
 		}

@@ -1,9 +1,9 @@
 package nim
 
 import (
-	"fmt"
 	"math"
 
+	"repro/internal/runner"
 	"repro/internal/thermal"
 )
 
@@ -19,29 +19,54 @@ type Options struct {
 	MeasureCycles uint64
 	// Seed makes every run deterministic.
 	Seed uint64
+	// Parallel bounds how many simulations a multi-run helper
+	// (RunAllSchemes, RunSchemeRepeated, CPUCountSweep,
+	// MigrationThresholdSweep, RunSweep) executes concurrently. Zero or
+	// negative selects runtime.GOMAXPROCS(0); 1 forces the historical
+	// strictly-sequential behavior. Results are identical either way —
+	// every simulation is self-contained and seed-deterministic — so this
+	// only changes wall-clock time.
+	Parallel int
 }
 
-// DefaultOptions returns the standard experiment windows.
+// DefaultOptions returns the standard experiment windows. Parallel is left
+// at 0, so multi-run helpers use every available core by default.
 func DefaultOptions() Options {
 	return Options{WarmCycles: 50_000, MeasureCycles: 250_000, Seed: 1}
 }
 
+// jobFor translates one configured run into a sweep job.
+func jobFor(cfg Config, benchName string, opt Options) SweepJob {
+	return SweepJob{
+		Config:        cfg,
+		Benchmark:     benchName,
+		WarmCycles:    opt.WarmCycles,
+		MeasureCycles: opt.MeasureCycles,
+		Seed:          opt.Seed,
+	}
+}
+
+// runJobs executes a job slice at opt.Parallel width and flattens the
+// outcome back to the historical ([]Results, first error) shape.
+func runJobs(jobs []SweepJob, opt Options) ([]Results, error) {
+	rs := RunSweep(jobs, opt.Parallel, nil)
+	if err := runner.FirstError(rs); err != nil {
+		return nil, err
+	}
+	out := make([]Results, len(rs))
+	for i, r := range rs {
+		out[i] = r.Results
+	}
+	return out, nil
+}
+
 // runConfigured executes one warmed, settled, measured simulation.
 func runConfigured(cfg Config, benchName string, opt Options) (Results, error) {
-	bench, ok := BenchmarkByName(benchName, cfg.NumCPUs)
-	if !ok {
-		return Results{}, fmt.Errorf("nim: unknown benchmark %q", benchName)
-	}
-	sim, err := NewSimulation(cfg, bench, opt.Seed)
+	rs, err := runJobs([]SweepJob{jobFor(cfg, benchName, opt)}, opt)
 	if err != nil {
 		return Results{}, err
 	}
-	sim.Warm()
-	sim.Start()
-	sim.Run(opt.WarmCycles)
-	sim.ResetStats()
-	sim.Run(opt.MeasureCycles)
-	return sim.Results(), nil
+	return rs[0], nil
 }
 
 // RunScheme measures one scheme on one benchmark at Table 4 defaults.
@@ -51,15 +76,22 @@ func RunScheme(s Scheme, benchName string, opt Options) (Results, error) {
 	return runConfigured(DefaultConfig(s), benchName, opt)
 }
 
-// RunAllSchemes measures all four schemes on one benchmark.
+// RunAllSchemes measures all four schemes on one benchmark. The four
+// simulations run concurrently up to opt.Parallel workers; the result is
+// identical to four sequential RunScheme calls.
 func RunAllSchemes(benchName string, opt Options) (map[Scheme]Results, error) {
-	out := make(map[Scheme]Results, 4)
-	for _, s := range Schemes() {
-		r, err := RunScheme(s, benchName, opt)
-		if err != nil {
-			return nil, err
-		}
-		out[s] = r
+	schemes := Schemes()
+	jobs := make([]SweepJob, len(schemes))
+	for i, s := range schemes {
+		jobs[i] = jobFor(DefaultConfig(s), benchName, opt)
+	}
+	rs, err := runJobs(jobs, opt)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[Scheme]Results, len(schemes))
+	for i, s := range schemes {
+		out[s] = rs[i]
 	}
 	return out, nil
 }
@@ -133,17 +165,23 @@ type RepeatedResults struct {
 }
 
 // RunSchemeRepeated runs one scheme/benchmark across several seeds and
-// aggregates, for reporting confidence alongside the point estimates.
+// aggregates, for reporting confidence alongside the point estimates. The
+// per-seed runs execute concurrently up to opt.Parallel workers; Runs stay
+// in seed order.
 func RunSchemeRepeated(s Scheme, benchName string, opt Options, seeds int) (RepeatedResults, error) {
-	var out RepeatedResults
-	var lat, ipc, mig []float64
-	for i := 0; i < seeds; i++ {
+	jobs := make([]SweepJob, seeds)
+	for i := range jobs {
 		o := opt
 		o.Seed = opt.Seed + uint64(i)
-		r, err := RunScheme(s, benchName, o)
-		if err != nil {
-			return out, err
-		}
+		jobs[i] = jobFor(DefaultConfig(s), benchName, o)
+	}
+	var out RepeatedResults
+	rs, err := runJobs(jobs, opt)
+	if err != nil {
+		return out, err
+	}
+	var lat, ipc, mig []float64
+	for _, r := range rs {
 		out.Runs = append(out.Runs, r)
 		lat = append(lat, r.AvgL2HitLatency)
 		ipc = append(ipc, r.IPC)
@@ -157,20 +195,17 @@ func RunSchemeRepeated(s Scheme, benchName string, opt Options, seeds int) (Repe
 
 // CPUCountSweep measures a scheme across processor counts (one pillar per
 // CPU, as in the paper's placement), exploring the scaling direction the
-// paper's conclusion points at.
+// paper's conclusion points at. The per-count runs execute concurrently up
+// to opt.Parallel workers; results stay in counts order.
 func CPUCountSweep(s Scheme, benchName string, counts []int, opt Options) ([]Results, error) {
-	out := make([]Results, 0, len(counts))
-	for _, n := range counts {
+	jobs := make([]SweepJob, len(counts))
+	for i, n := range counts {
 		cfg := DefaultConfig(s)
 		cfg.NumCPUs = n
 		cfg.NumPillars = n
-		r, err := runConfigured(cfg, benchName, opt)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
+		jobs[i] = jobFor(cfg, benchName, opt)
 	}
-	return out, nil
+	return runJobs(jobs, opt)
 }
 
 // Table3 reproduces the thermal table: peak/average/minimum temperature
@@ -274,19 +309,17 @@ func TagPortAblation(benchName string, opt Options) (ideal, singlePort Results, 
 }
 
 // MigrationThresholdSweep measures CMP-DNUCA-3D across migration
-// thresholds (ablation of the design choice in Section 4.2.3).
+// thresholds (ablation of the design choice in Section 4.2.3). The
+// per-threshold runs execute concurrently up to opt.Parallel workers;
+// results stay in thresholds order.
 func MigrationThresholdSweep(benchName string, thresholds []int, opt Options) ([]Results, error) {
-	out := make([]Results, 0, len(thresholds))
-	for _, th := range thresholds {
+	jobs := make([]SweepJob, len(thresholds))
+	for i, th := range thresholds {
 		cfg := DefaultConfig(CMPDNUCA3D)
 		cfg.MigrationThreshold = th
-		r, err := runConfigured(cfg, benchName, opt)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
+		jobs[i] = jobFor(cfg, benchName, opt)
 	}
-	return out, nil
+	return runJobs(jobs, opt)
 }
 
 // ClusterSkipAblation measures CMP-DNUCA-3D with and without the policy of

@@ -256,4 +256,3 @@ func (cl *Cluster) retireOldCopy(m *Msg) {
 	p := cl.sys.Cfg.L2.PlaceOf(m.Addr)
 	cl.set(p).Invalidate(p.Tag)
 }
-

@@ -1,0 +1,168 @@
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// Job describes one warmed, settled, measured simulation. The zero values
+// of WarmCycles and MeasureCycles are honored literally (a zero-cycle
+// window), so callers should populate both.
+type Job struct {
+	// Label is an optional caller-chosen tag carried through to the
+	// Result; the runner never interprets it.
+	Label string
+	// Config is the complete machine description, including the scheme
+	// and any per-job overrides (L2 size, layer count, pillar count, ...).
+	Config config.Config
+	// Benchmark names a SPEC OMP profile (trace.ProfileByName) to run on
+	// every core.
+	Benchmark string
+	// WarmCycles settles the warmed caches before measurement begins.
+	WarmCycles uint64
+	// MeasureCycles is the statistics window.
+	MeasureCycles uint64
+	// Seed makes the run deterministic.
+	Seed uint64
+}
+
+// Result pairs a Job with its outcome. Exactly one of Results/Err is
+// meaningful: Err != nil means the job failed and Results is zero.
+type Result struct {
+	// Index is the job's position in the input slice.
+	Index int
+	// Job echoes the job that produced this result.
+	Job Job
+	// Results is the measurement summary for a successful run.
+	Results core.Results
+	// Err captures a per-job failure (unknown benchmark, invalid config,
+	// or a recovered simulation panic). A failed job never aborts the
+	// surrounding sweep.
+	Err error
+}
+
+// Pool is a bounded worker pool for simulation sweeps. The zero value is
+// ready to use and runs on runtime.GOMAXPROCS(0) workers.
+type Pool struct {
+	// Workers bounds the number of concurrently running simulations.
+	// Values <= 0 select runtime.GOMAXPROCS(0). Workers == 1 runs the
+	// jobs sequentially on the calling goroutine, preserving the
+	// pre-runner behavior exactly.
+	Workers int
+	// Progress, when non-nil, is invoked once per finished job with the
+	// number of jobs done so far, the total, and the finished job's
+	// result. Calls are serialized and arrive in completion order (which
+	// under parallelism is not input order — use Result.Index).
+	Progress func(done, total int, r Result)
+}
+
+// Run executes every job and returns one Result per job, in input order
+// regardless of the completion order. It never returns an error itself:
+// per-job failures land in the corresponding Result.Err, so one bad job
+// cannot take down a long sweep.
+func (p *Pool) Run(jobs []Job) []Result {
+	results := make([]Result, len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	if workers == 1 {
+		for i, j := range jobs {
+			results[i] = runOne(i, j)
+			if p.Progress != nil {
+				p.Progress(i+1, len(jobs), results[i])
+			}
+		}
+		return results
+	}
+
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex // guards done and serializes Progress
+		done int
+		next = make(chan int)
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				r := runOne(i, jobs[i])
+				results[i] = r
+				if p.Progress != nil {
+					mu.Lock()
+					done++
+					p.Progress(done, len(jobs), r)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results
+}
+
+// Run executes jobs on a default pool with the given worker bound; see
+// Pool.Run for the ordering and error-capture contract.
+func Run(jobs []Job, workers int) []Result {
+	p := Pool{Workers: workers}
+	return p.Run(jobs)
+}
+
+// runOne builds, warms, settles, and measures one simulation, converting
+// any failure — including a panic inside the simulator — into Result.Err.
+func runOne(i int, j Job) (res Result) {
+	res = Result{Index: i, Job: j}
+	defer func() {
+		if v := recover(); v != nil {
+			res.Err = fmt.Errorf("runner: job %d (%s on %s) panicked: %v",
+				i, j.Config.Scheme, j.Benchmark, v)
+			res.Results = core.Results{}
+		}
+	}()
+	bench, ok := trace.ProfileByName(j.Benchmark, j.Config.NumCPUs)
+	if !ok {
+		res.Err = fmt.Errorf("runner: unknown benchmark %q", j.Benchmark)
+		return res
+	}
+	sys, err := core.NewSystem(j.Config, bench, j.Seed)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	sys.Warm(j.Seed)
+	sys.Start()
+	sys.Run(j.WarmCycles)
+	sys.ResetStats()
+	sys.Run(j.MeasureCycles)
+	res.Results = sys.Results()
+	return res
+}
+
+// FirstError returns the first failed job's error in input order, or nil
+// when every job succeeded — the policy the public sweep helpers use to
+// keep their historical (results, error) signatures.
+func FirstError(results []Result) error {
+	for _, r := range results {
+		if r.Err != nil {
+			return r.Err
+		}
+	}
+	return nil
+}

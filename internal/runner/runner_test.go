@@ -1,0 +1,160 @@
+package runner
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/config"
+)
+
+// testJobs builds a small but heterogeneous sweep: two schemes and two
+// benchmarks, short windows, distinct seeds.
+func testJobs() []Job {
+	var jobs []Job
+	for _, s := range []config.Scheme{config.CMPSNUCA3D, config.CMPDNUCA3D} {
+		for i, b := range []string{"mgrid", "swim"} {
+			jobs = append(jobs, Job{
+				Config:        config.Default(s),
+				Benchmark:     b,
+				WarmCycles:    2_000,
+				MeasureCycles: 6_000,
+				Seed:          uint64(1 + i),
+			})
+		}
+	}
+	return jobs
+}
+
+// TestPoolParallelMatchesSequential is the determinism guarantee: a
+// parallel sweep must produce byte-identical Results to a sequential one
+// for identical seeds. It also doubles as a race-detector probe for hidden
+// shared state between Simulation instances (run via `go test -race`).
+func TestPoolParallelMatchesSequential(t *testing.T) {
+	jobs := testJobs()
+	seq := Run(jobs, 1)
+	par := Run(jobs, 4)
+	if len(seq) != len(jobs) || len(par) != len(jobs) {
+		t.Fatalf("got %d/%d results for %d jobs", len(seq), len(par), len(jobs))
+	}
+	for i := range jobs {
+		if seq[i].Err != nil || par[i].Err != nil {
+			t.Fatalf("job %d failed: seq=%v par=%v", i, seq[i].Err, par[i].Err)
+		}
+		if seq[i].Results != par[i].Results {
+			t.Errorf("job %d (%s on %s): parallel results diverge from sequential\nseq: %+v\npar: %+v",
+				i, jobs[i].Config.Scheme, jobs[i].Benchmark, seq[i].Results, par[i].Results)
+		}
+		if par[i].Index != i {
+			t.Errorf("job %d: Index = %d, want input order preserved", i, par[i].Index)
+		}
+	}
+}
+
+// TestPoolMoreWorkersThanJobs checks the worker bound is clamped and a
+// wide pool still returns everything in order.
+func TestPoolMoreWorkersThanJobs(t *testing.T) {
+	jobs := testJobs()[:2]
+	res := Run(jobs, 64)
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+		if r.Job.Benchmark != jobs[i].Benchmark {
+			t.Errorf("result %d echoes job %q, want %q", i, r.Job.Benchmark, jobs[i].Benchmark)
+		}
+	}
+}
+
+// TestPoolCapturesPerJobErrors checks that a failing job neither kills the
+// sweep nor perturbs its neighbors' slots.
+func TestPoolCapturesPerJobErrors(t *testing.T) {
+	jobs := testJobs()
+	bad := Job{Config: config.Default(config.CMPSNUCA3D), Benchmark: "no-such-bench",
+		WarmCycles: 100, MeasureCycles: 100, Seed: 1}
+	jobs = append(jobs[:2:2], append([]Job{bad}, jobs[2:]...)...)
+	for _, workers := range []int{1, 3} {
+		res := Run(jobs, workers)
+		if err := FirstError(res); err == nil {
+			t.Fatalf("workers=%d: FirstError = nil, want unknown-benchmark error", workers)
+		}
+		for i, r := range res {
+			if i == 2 {
+				if r.Err == nil {
+					t.Errorf("workers=%d: bad job succeeded", workers)
+				}
+				continue
+			}
+			if r.Err != nil {
+				t.Errorf("workers=%d: good job %d failed: %v", workers, i, r.Err)
+			}
+			if r.Results.L2Accesses == 0 {
+				t.Errorf("workers=%d: good job %d measured nothing", workers, i)
+			}
+		}
+	}
+}
+
+// TestPoolInvalidConfig checks that config validation failures are
+// captured per job rather than escaping as panics.
+func TestPoolInvalidConfig(t *testing.T) {
+	res := Run([]Job{{Config: config.Config{}, Benchmark: "mgrid"}}, 2)
+	if res[0].Err == nil {
+		t.Fatal("zero config ran successfully, want a captured error")
+	}
+}
+
+// TestPoolProgress checks that the callback fires exactly once per job,
+// serially, with a monotonically increasing done count — including from
+// concurrent workers, which the race detector verifies.
+func TestPoolProgress(t *testing.T) {
+	jobs := testJobs()
+	var mu sync.Mutex
+	var dones []int
+	seen := make(map[int]bool)
+	p := Pool{Workers: 4, Progress: func(done, total int, r Result) {
+		mu.Lock()
+		defer mu.Unlock()
+		if total != len(jobs) {
+			t.Errorf("total = %d, want %d", total, len(jobs))
+		}
+		dones = append(dones, done)
+		seen[r.Index] = true
+	}}
+	p.Run(jobs)
+	if len(dones) != len(jobs) {
+		t.Fatalf("progress fired %d times, want %d", len(dones), len(jobs))
+	}
+	for i, d := range dones {
+		if d != i+1 {
+			t.Fatalf("done sequence %v, want 1..%d", dones, len(jobs))
+		}
+	}
+	for i := range jobs {
+		if !seen[i] {
+			t.Errorf("no progress report for job %d", i)
+		}
+	}
+}
+
+// TestPoolEmpty checks the degenerate sweep.
+func TestPoolEmpty(t *testing.T) {
+	if res := Run(nil, 8); len(res) != 0 {
+		t.Fatalf("empty sweep returned %d results", len(res))
+	}
+}
+
+// BenchmarkSweepSequential and BenchmarkSweepParallel time the same
+// four-job sweep at one worker versus GOMAXPROCS workers; on a multi-core
+// machine the ratio is the wall-clock speedup of `-parallel`.
+func BenchmarkSweepSequential(b *testing.B) { benchmarkSweep(b, 1) }
+func BenchmarkSweepParallel(b *testing.B)   { benchmarkSweep(b, 0) }
+
+func benchmarkSweep(b *testing.B, workers int) {
+	jobs := testJobs()
+	for i := 0; i < b.N; i++ {
+		res := Run(jobs, workers)
+		if err := FirstError(res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -61,17 +61,28 @@ func (l *Latency) Mean() float64 {
 	return float64(l.sum) / float64(l.count)
 }
 
-// Min returns the smallest sample, or 0 with no samples.
+// Min returns the smallest sample observed. With no samples it returns 0,
+// which is indistinguishable from a true 0-cycle minimum — callers that
+// may see an empty accumulator should use MinOK (or check Count) instead.
 func (l *Latency) Min() uint64 { return l.min }
 
-// Max returns the largest sample observed.
+// MinOK returns the smallest sample observed and whether any sample has
+// been recorded at all, disambiguating an empty accumulator from a true
+// 0-cycle minimum.
+func (l *Latency) MinOK() (uint64, bool) { return l.min, l.count > 0 }
+
+// Max returns the largest sample observed, or 0 with no samples.
 func (l *Latency) Max() uint64 { return l.max }
 
 // Reset clears all samples.
 func (l *Latency) Reset() { *l = Latency{} }
 
-// String summarizes the accumulator.
+// String summarizes the accumulator. An empty accumulator says so instead
+// of printing a misleading min=0 max=0.
 func (l *Latency) String() string {
+	if l.count == 0 {
+		return "n=0 (no samples)"
+	}
 	return fmt.Sprintf("n=%d mean=%.2f min=%d max=%d", l.count, l.Mean(), l.min, l.max)
 }
 

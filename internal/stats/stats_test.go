@@ -44,6 +44,45 @@ func TestLatencyBasics(t *testing.T) {
 	}
 }
 
+// TestLatencyZeroSamples pins the zero-sample contract: Min() reports 0
+// with nothing observed (ambiguous by design, for callers that know the
+// accumulator is populated), while MinOK and String disambiguate an empty
+// accumulator from a true 0-cycle minimum.
+func TestLatencyZeroSamples(t *testing.T) {
+	var l Latency
+	if l.Min() != 0 || l.Max() != 0 {
+		t.Fatalf("empty: min=%d max=%d, want 0 0", l.Min(), l.Max())
+	}
+	if v, ok := l.MinOK(); ok || v != 0 {
+		t.Fatalf("empty MinOK = (%d, %v), want (0, false)", v, ok)
+	}
+	if got := l.String(); got != "n=0 (no samples)" {
+		t.Fatalf("empty String = %q", got)
+	}
+
+	// A genuine 0-cycle sample must be reported as a real minimum.
+	l.Observe(0)
+	if v, ok := l.MinOK(); !ok || v != 0 {
+		t.Fatalf("after Observe(0): MinOK = (%d, %v), want (0, true)", v, ok)
+	}
+
+	// A later larger sample must not disturb the true 0 minimum, and a
+	// fresh accumulator seeing only large samples must not report 0.
+	l.Observe(7)
+	if v, _ := l.MinOK(); v != 0 {
+		t.Fatalf("min drifted to %d after larger sample", v)
+	}
+	var big Latency
+	big.Observe(9)
+	if v, ok := big.MinOK(); !ok || v != 9 {
+		t.Fatalf("MinOK = (%d, %v), want (9, true)", v, ok)
+	}
+	big.Reset()
+	if _, ok := big.MinOK(); ok {
+		t.Fatal("Reset did not clear the sample count")
+	}
+}
+
 func TestLatencyInvariants(t *testing.T) {
 	f := func(samples []uint16) bool {
 		var l Latency

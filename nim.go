@@ -36,6 +36,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/thermal"
 	"repro/internal/trace"
 )
@@ -92,6 +93,40 @@ func ParseTrace(r io.Reader) (*FileStream, error) { return trace.ParseTrace(r) }
 
 // ThermalProfile is a peak/average/minimum temperature triple.
 type ThermalProfile = thermal.Profile
+
+// SweepJob describes one simulation in a batch sweep: a full Config
+// (scheme plus any per-job overrides such as L2 size, layer count, or
+// pillar count), a benchmark name, the warm/measure windows, and a seed.
+// Build common jobs with NewSweepJob and customize Config afterwards.
+type SweepJob = runner.Job
+
+// SweepResult pairs a SweepJob with its outcome: the job's input-slice
+// Index, its Results on success, or a per-job Err on failure.
+type SweepResult = runner.Result
+
+// NewSweepJob builds the common sweep job: one scheme configuration
+// running one benchmark under opt's windows and seed.
+func NewSweepJob(cfg Config, benchName string, opt Options) SweepJob {
+	return jobFor(cfg, benchName, opt)
+}
+
+// RunSweep executes independent simulation jobs on a bounded worker pool
+// and returns one SweepResult per job in input order. parallel bounds the
+// number of concurrent simulations (<= 0 selects runtime.GOMAXPROCS(0);
+// 1 runs strictly sequentially). A failed job is captured in its
+// SweepResult.Err and never aborts the sweep; SweepError summarizes.
+// progress, when non-nil, is called serially after each job finishes, in
+// completion order. Every simulation is self-contained and deterministic
+// in its seed, so a parallel sweep returns byte-identical Results to a
+// sequential one.
+func RunSweep(jobs []SweepJob, parallel int, progress func(done, total int, r SweepResult)) []SweepResult {
+	p := runner.Pool{Workers: parallel, Progress: progress}
+	return p.Run(jobs)
+}
+
+// SweepError returns the first failed job's error in input order, or nil
+// when every job in the sweep succeeded.
+func SweepError(results []SweepResult) error { return runner.FirstError(results) }
 
 // Simulation is one configured machine running one benchmark.
 type Simulation struct {
