@@ -464,6 +464,31 @@ func BenchmarkAblationTagPorts(b *testing.B) {
 
 // --- Microbenchmarks: simulator throughput ------------------------------
 
+// BenchmarkTracingOverhead quantifies the observability layer's cost on a
+// Figure 13-style run. The "disabled" case is the default configuration —
+// no probe attached, every instrumentation site a nil check — and is the
+// one that must stay within 2% of the pre-instrumentation simulator. The
+// "enabled" case attaches a ring sink and shows the full-tracing price.
+func BenchmarkTracingOverhead(b *testing.B) {
+	run := func(b *testing.B, attach bool) {
+		cfg := nim.DefaultConfig(nim.CMPDNUCA3D)
+		bench, _ := nim.BenchmarkByName("mgrid", cfg.NumCPUs)
+		sim, err := nim.NewSimulation(cfg, bench, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim.Warm()
+		sim.Start()
+		if attach {
+			sim.AttachTracer(nim.NewTraceRing(1 << 20))
+		}
+		b.ResetTimer()
+		sim.Run(uint64(b.N))
+	}
+	b.Run("disabled", func(b *testing.B) { run(b, false) })
+	b.Run("enabled", func(b *testing.B) { run(b, true) })
+}
+
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	// Simulated cycles per wall-clock second for the default 3D system.
 	cfg := nim.DefaultConfig(nim.CMPDNUCA3D)

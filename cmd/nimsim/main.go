@@ -7,12 +7,15 @@
 //	nimsim -scheme dnuca3d -bench mgrid
 //	nimsim -scheme snuca3d -bench swim -layers 4 -measure 500000
 //	nimsim -scheme dnuca3d -bench art -pillars 2
+//	nimsim -scheme dnuca3d -bench mgrid -trace trace.json -metrics m.csv
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 
@@ -29,22 +32,35 @@ var schemeNames = map[string]nim.Scheme{
 
 func main() {
 	var (
-		mix     = flag.String("mix", "", "multiprogrammed mix: comma-separated benchmarks, one per core (cycled)")
-		traceIn = flag.String("trace", "", "replay trace files instead of synthetic workloads: comma-separated, one per core (cycled)")
-		asJSON  = flag.Bool("json", false, "emit the results as JSON instead of text")
-		heatmap = flag.Bool("heatmap", false, "print per-layer router utilization maps")
-		busrep  = flag.Bool("buses", false, "print per-pillar bus utilization")
-		scheme  = flag.String("scheme", "dnuca3d", "scheme: dnuca, dnuca2d, snuca3d, dnuca3d")
-		bench   = flag.String("bench", "mgrid", "SPEC OMP benchmark name")
-		layers  = flag.Int("layers", 0, "override layer count (3D schemes)")
-		pillars = flag.Int("pillars", 0, "override pillar count")
-		l2mb    = flag.Int("l2", 0, "override L2 size in MB (16, 32, 64)")
-		stack   = flag.Bool("stack", false, "force vertical CPU stacking")
-		warm    = flag.Uint64("warm", 50_000, "settle cycles before measurement")
-		measure = flag.Uint64("measure", 250_000, "measurement window in cycles")
-		seed    = flag.Uint64("seed", 1, "deterministic seed")
+		mix      = flag.String("mix", "", "multiprogrammed mix: comma-separated benchmarks, one per core (cycled)")
+		traceIn  = flag.String("replay", "", "replay trace files instead of synthetic workloads: comma-separated, one per core (cycled)")
+		asJSON   = flag.Bool("json", false, "emit the results as JSON instead of text")
+		heatmap  = flag.Bool("heatmap", false, "print per-layer router utilization maps")
+		busrep   = flag.Bool("buses", false, "print per-pillar bus utilization")
+		scheme   = flag.String("scheme", "dnuca3d", "scheme: dnuca, dnuca2d, snuca3d, dnuca3d")
+		bench    = flag.String("bench", "mgrid", "SPEC OMP benchmark name")
+		layers   = flag.Int("layers", 0, "override layer count (3D schemes)")
+		pillars  = flag.Int("pillars", 0, "override pillar count")
+		l2mb     = flag.Int("l2", 0, "override L2 size in MB (16, 32, 64)")
+		stack    = flag.Bool("stack", false, "force vertical CPU stacking")
+		warm     = flag.Uint64("warm", 50_000, "settle cycles before measurement")
+		measure  = flag.Uint64("measure", 250_000, "measurement window in cycles")
+		seed     = flag.Uint64("seed", 1, "deterministic seed")
+		traceOut = flag.String("trace", "", "write the measurement window's event trace as Chrome trace-event JSON (open in Perfetto)")
+		traceBuf = flag.Int("tracebuf", 1_000_000, "event-trace ring capacity (oldest events drop beyond it)")
+		metrics  = flag.String("metrics", "", "write interval metrics time series to this file (.json for JSON, CSV otherwise)")
+		interval = flag.Uint64("interval", 1_000, "metrics sampling period in cycles")
+		pprof    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *pprof != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprof, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "nimsim: pprof: %v\n", err)
+			}
+		}()
+	}
 
 	s, ok := schemeNames[strings.ToLower(*scheme)]
 	if !ok {
@@ -72,8 +88,33 @@ func main() {
 	sim.Start()
 	sim.Run(*warm)
 	sim.ResetStats()
+	// Observability attaches after the settle window, so the trace and the
+	// metrics series cover exactly the measured cycles.
+	var ring *nim.TraceRing
+	if *traceOut != "" {
+		ring = nim.NewTraceRing(*traceBuf)
+		sim.AttachTracer(ring)
+	}
+	var sampler *nim.MetricsSampler
+	if *metrics != "" {
+		sampler = sim.AttachSampler(*interval)
+	}
 	sim.Run(*measure)
 	r := sim.Results()
+
+	if ring != nil {
+		if err := writeTrace(*traceOut, ring); err != nil {
+			fatalf("%v", err)
+		}
+		if n := ring.Dropped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "nimsim: trace ring dropped %d oldest events (raise -tracebuf for full coverage)\n", n)
+		}
+	}
+	if sampler != nil {
+		if err := writeMetrics(*metrics, sampler.Series()); err != nil {
+			fatalf("%v", err)
+		}
+	}
 
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
@@ -204,6 +245,37 @@ func buildSimulation(cfg nim.Config, bench, mix, traceIn string, seed uint64) (*
 		sim.Warm()
 		return sim, nil
 	}
+}
+
+// writeTrace dumps the ring's events as Chrome trace-event JSON.
+func writeTrace(path string, ring *nim.TraceRing) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := nim.WriteChromeTrace(f, ring.Events()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeMetrics dumps the sampled time series: JSON when the filename ends
+// in .json, CSV otherwise.
+func writeMetrics(path string, ts *nim.MetricsSeries) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := ts.WriteCSV
+	if strings.HasSuffix(path, ".json") {
+		werr = ts.WriteJSON
+	}
+	if err := werr(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatalf(format string, args ...any) {

@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/cache"
 	"repro/internal/geom"
+	"repro/internal/obs"
 )
 
 // Cluster is one L2 cluster: a tile of banks, the cluster's tag array, the
@@ -144,6 +145,13 @@ func (cl *Cluster) serve(m *Msg, direct bool) {
 		s.invalidateReplicas(m.Addr, cl.center, -1)
 		e.Sharers = 1 << uint(m.CPU)
 		e.Dirty = true
+		if s.obsProbe != nil {
+			s.obsProbe.Emit(obs.Event{
+				Cycle: s.Engine.Now(), Kind: obs.EvCohUpgrade,
+				X: cl.center.X, Y: cl.center.Y, Layer: cl.center.Layer,
+				ID: uint64(m.Addr), A: uint64(m.CPU),
+			})
+		}
 	} else {
 		bank.Reads++
 		e.Sharers |= 1 << uint(m.CPU)
@@ -171,6 +179,13 @@ func (cl *Cluster) invalidateSharers(e *cache.Entry, addr cache.LineAddr, owner 
 			continue
 		}
 		cl.sys.M.Invalidations.Inc()
+		if cl.sys.obsProbe != nil {
+			cl.sys.obsProbe.Emit(obs.Event{
+				Cycle: cl.sys.Engine.Now(), Kind: obs.EvCohInval,
+				X: cl.center.X, Y: cl.center.Y, Layer: cl.center.Layer,
+				ID: uint64(addr), A: uint64(c),
+			})
+		}
 		cl.sys.send(cl.center, &Msg{Kind: msgInval, CPU: c, Cluster: cl.id, Addr: addr})
 	}
 }
@@ -230,12 +245,26 @@ func (cl *Cluster) evict(p cache.Place, victim cache.Entry) {
 	}
 	if victim.Dirty {
 		s.M.MemWrites.Inc()
+		if s.obsProbe != nil {
+			s.obsProbe.Emit(obs.Event{
+				Cycle: s.Engine.Now(), Kind: obs.EvCohWriteback,
+				X: cl.center.X, Y: cl.center.Y, Layer: cl.center.Layer,
+				ID: uint64(victimAddr), A: uint64(cl.id),
+			})
+		}
 	}
 	for c := range s.CPUs {
 		if victim.Sharers&(1<<uint(c)) == 0 {
 			continue
 		}
 		s.M.BackInvals.Inc()
+		if s.obsProbe != nil {
+			s.obsProbe.Emit(obs.Event{
+				Cycle: s.Engine.Now(), Kind: obs.EvCohBackInval,
+				X: cl.center.X, Y: cl.center.Y, Layer: cl.center.Layer,
+				ID: uint64(victimAddr), A: uint64(c),
+			})
+		}
 		s.send(cl.center, &Msg{Kind: msgInval, CPU: c, Cluster: cl.id, Addr: victimAddr})
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/cache"
 	"repro/internal/geom"
+	"repro/internal/obs"
 )
 
 // maybeMigrate applies the cache-line migration policy of Section 4.2.3
@@ -37,6 +38,21 @@ func (s *System) maybeMigrate(cl *Cluster, addr cache.LineAddr, p cache.Place, e
 	e.Hits = 0
 	e.Migrating = true
 	s.M.Migrations.Inc()
+	if s.obsProbe != nil {
+		// An intra-layer step heads for the accessor's local cluster; a
+		// line on a different layer steps toward the accessor's pillar
+		// within its own layer (Section 4.2.3).
+		kind := obs.EvMigStep
+		if s.Top.ClusterLayer(cl.id) != s.Top.CPUs[cpu].Layer {
+			kind = obs.EvMigPillar
+		}
+		c := cl.center
+		s.obsProbe.Emit(obs.Event{
+			Cycle: s.Engine.Now(), Kind: kind,
+			X: c.X, Y: c.Y, Layer: c.Layer,
+			ID: uint64(addr), A: uint64(cl.id), B: uint64(target),
+		})
+	}
 	s.send(s.Top.BankCoord(cl.id, p.Bank), &Msg{
 		Kind:      msgMigData,
 		Cluster:   target,

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+// AttachProbe attaches the observability probe to every instrumented
+// layer: the protocol engine (migration and MSI coherence events), the
+// fabric (packet inject/eject), every router (per-hop routing, VC stalls),
+// and every pillar bus (dTDMA arbitration). A nil probe detaches all of
+// them, restoring the zero-overhead path.
+func (s *System) AttachProbe(p *obs.Probe) {
+	s.obsProbe = p
+	s.Fab.SetProbe(p)
+}
+
+// AttachSampler registers a periodic metrics sampler with the engine:
+// every interval cycles it appends one row of interval metrics — counter
+// deltas from a stats.Set registry backed by the live Metrics fields, the
+// L2 hit-latency mean and P95 over the interval, mesh router utilization,
+// and per-pillar bus occupancy. The returned sampler keeps accumulating
+// until the simulation stops; read it with Series().
+//
+// Column semantics:
+//
+//	l2_accesses, l2_hits, l2_misses, migrations, invalidations,
+//	evictions, mem_reads, mem_writes, probes_sent
+//	    — events in the interval (deltas of the cumulative counters, so
+//	      "migrations" is the migration rate per interval)
+//	hit_lat_mean, hit_lat_p95
+//	    — over the hits completing inside the interval (0 with no hits)
+//	router_util
+//	    — flits forwarded per router per cycle, averaged over the mesh
+//	bus<N>_occ
+//	    — fraction of the interval's cycles pillar bus N carried a flit
+func (s *System) AttachSampler(interval uint64) *obs.Sampler {
+	sm := obs.NewSampler(interval)
+
+	// The counter registry: the sampler snapshots these through the
+	// stats.Set Names/Value interface; the hot paths keep incrementing
+	// the Metrics fields directly. Metrics.Reset assigns through the
+	// pointer receiver, so the registered addresses stay live across
+	// ResetStats.
+	reg := stats.NewSet()
+	reg.Register("l2_accesses", &s.M.L2Accesses)
+	reg.Register("l2_hits", &s.M.L2Hits)
+	reg.Register("l2_misses", &s.M.L2Misses)
+	reg.Register("migrations", &s.M.Migrations)
+	reg.Register("invalidations", &s.M.Invalidations)
+	reg.Register("evictions", &s.M.Evictions)
+	reg.Register("mem_reads", &s.M.MemReads)
+	reg.Register("mem_writes", &s.M.MemWrites)
+	reg.Register("probes_sent", &s.M.ProbesSent)
+	sm.AddCounterSet(reg)
+
+	// L2 hit latency over the interval: deltas of the cumulative
+	// accumulator. ResetStats (which zeroes the accumulator) restarts the
+	// window instead of producing a negative delta.
+	var lastSum, lastCount uint64
+	sm.AddGauge("hit_lat_mean", func(uint64) float64 {
+		sum, count := s.M.HitLatency.Sum(), s.M.HitLatency.Count()
+		if count < lastCount {
+			lastSum, lastCount = 0, 0
+		}
+		dSum, dCount := sum-lastSum, count-lastCount
+		lastSum, lastCount = sum, count
+		if dCount == 0 {
+			return 0
+		}
+		return float64(dSum) / float64(dCount)
+	})
+
+	// Interval P95 from the hit-latency histogram's bucket deltas. The
+	// open-ended last bucket reports the cumulative observed maximum (the
+	// per-interval maximum is not tracked).
+	lastBuckets := make([]uint64, s.M.HitHist.NumBuckets())
+	var lastHistTotal uint64
+	sm.AddGauge("hit_lat_p95", func(uint64) float64 {
+		h := s.M.HitHist
+		nb := h.NumBuckets()
+		if nb != len(lastBuckets) || h.Total() < lastHistTotal {
+			// The histogram was replaced by ResetStats; restart the window.
+			lastBuckets = make([]uint64, nb)
+		}
+		lastHistTotal = h.Total()
+		var total uint64
+		deltas := make([]uint64, nb)
+		for i := 0; i < nb; i++ {
+			c := h.Bucket(i)
+			deltas[i] = c - lastBuckets[i]
+			total += deltas[i]
+			lastBuckets[i] = c
+		}
+		if total == 0 {
+			return 0
+		}
+		target := (total*95 + 99) / 100
+		var cum uint64
+		for i, d := range deltas {
+			cum += d
+			if cum >= target {
+				if i == nb-1 {
+					return float64(h.Max())
+				}
+				return float64(uint64(i+1) * h.Width())
+			}
+		}
+		return float64(h.Max())
+	})
+
+	// Mesh utilization: flits forwarded per router per cycle.
+	nodes := float64(s.Top.Dim.Nodes())
+	var lastFwd uint64
+	sm.AddGauge("router_util", func(uint64) float64 {
+		cur := s.Fab.ForwardedFlits()
+		d := cur - lastFwd
+		lastFwd = cur
+		return float64(d) / (nodes * float64(interval))
+	})
+
+	// Per-pillar bus occupancy: busy cycles / interval cycles.
+	for i, b := range s.Fab.Buses() {
+		b := b
+		var lastBusy uint64
+		sm.AddGauge(fmt.Sprintf("bus%d_occ", i), func(uint64) float64 {
+			d := b.BusyCycles - lastBusy
+			lastBusy = b.BusyCycles
+			return float64(d) / float64(interval)
+		})
+	}
+
+	s.Engine.Register(sm)
+	return sm
+}

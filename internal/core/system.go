@@ -9,6 +9,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/geom"
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -104,6 +105,11 @@ type System struct {
 	// replicas maps a line to the bitmask of clusters holding read-only
 	// replicas of it (victim-replication extension).
 	replicas map[cache.LineAddr]uint16
+
+	// probe, when non-nil, receives migration and MSI coherence events
+	// (the network layers hold their own copy via Fab.SetProbe). Nil by
+	// default; see AttachProbe.
+	obsProbe *obs.Probe
 
 	baseCycle, baseInstr, baseFlitHops, baseBusFlits uint64
 }
@@ -502,6 +508,14 @@ func (s *System) memArrive(t *txn) {
 	t.afterMem = false
 	home := s.Cfg.L2.PlaceOf(t.addr).HomeCluster
 	cl := s.Clusters[home]
+	if s.obsProbe != nil {
+		c := cl.center
+		s.obsProbe.Emit(obs.Event{
+			Cycle: s.Engine.Now(), Kind: obs.EvCohFill,
+			X: c.X, Y: c.Y, Layer: c.Layer,
+			ID: uint64(t.addr), A: uint64(home),
+		})
+	}
 	// Any surviving replicas are stale relative to the fresh fill.
 	s.invalidateReplicas(t.addr, s.memCtrls[maxInt(t.memCtrl, 0)], -1)
 	cl.install(t.addr, 1<<uint(t.cpu.id), t.excl)

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/noc"
+	"repro/internal/obs"
 )
 
 // txBufDepth is the pillar transmitter buffer depth in flits: one message,
@@ -101,6 +102,12 @@ type Bus struct {
 	// counts flits transferred. Used for utilization and energy reports.
 	BusyCycles uint64
 	TotalFlits uint64
+
+	// probe, when non-nil, receives dTDMA arbitration events: slot-wheel
+	// grow/shrink and per-flit bus grants. lastClients is the active-client
+	// count as of the previous probed tick, for edge detection.
+	probe       *obs.Probe
+	lastClients int
 }
 
 // NewBus creates a pillar bus with the given in-plane position spanning the
@@ -145,6 +152,9 @@ func (b *Bus) AttachRx(layer int, ep noc.Endpoint) {
 	b.rx[layer] = ep
 }
 
+// SetProbe attaches (or, with nil, detaches) the observability probe.
+func (b *Bus) SetProbe(p *obs.Probe) { b.probe = p }
+
 // Idle reports whether no transmitter holds flits.
 func (b *Bus) Idle() bool { return b.pending == 0 }
 
@@ -169,6 +179,22 @@ func (b *Bus) ActiveClients() int {
 // crossing, reflecting the negligible inter-wafer distance that motivates
 // the single-hop design.
 func (b *Bus) Tick(cycle uint64) {
+	if b.probe != nil {
+		// The slot wheel resizes whenever the set of layers holding
+		// pending flits changed since the last tick (Section 3.1's dynamic
+		// timeslot allocation).
+		if n := b.ActiveClients(); n != b.lastClients {
+			kind := obs.EvSlotGrow
+			if n < b.lastClients {
+				kind = obs.EvSlotShrink
+			}
+			b.probe.Emit(obs.Event{
+				Cycle: cycle, Kind: kind, X: b.pos.X, Y: b.pos.Y,
+				ID: uint64(b.id), A: uint64(n), B: uint64(b.lastClients),
+			})
+			b.lastClients = n
+		}
+	}
 	if b.pending == 0 {
 		return
 	}
@@ -203,6 +229,12 @@ func (b *Bus) Tick(cycle uint64) {
 		fl := t.pop()
 		b.pending--
 		fl.Pkt.Hops++
+		if b.probe != nil {
+			b.probe.Emit(obs.Event{
+				Cycle: cycle, Kind: obs.EvBusGrant, X: b.pos.X, Y: b.pos.Y,
+				Layer: layer, ID: uint64(b.id), A: uint64(layer), B: uint64(dstLayer),
+			})
+		}
 		ep.Accept(fl, t.landVC, cycle)
 		b.BusyCycles++
 		b.TotalFlits++

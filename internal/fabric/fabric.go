@@ -11,6 +11,7 @@ import (
 	"repro/internal/dtdma"
 	"repro/internal/geom"
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -53,6 +54,10 @@ type Fabric struct {
 	// PktLatency accumulates end-to-end packet latencies (injection to
 	// tail ejection) across all traffic.
 	PktLatency stats.Latency
+
+	// probe, when non-nil, receives packet inject/eject events; SetProbe
+	// also fans it out to every router and pillar bus.
+	probe *obs.Probe
 }
 
 // New builds the fabric. pillars lists the in-plane pillar positions; each
@@ -136,6 +141,20 @@ func (f *Fabric) SetRouterPipeline(cycles int) {
 	}
 }
 
+// SetProbe attaches the observability probe to the whole interconnect:
+// the fabric itself (packet inject/eject), every router (per-hop routing,
+// VC stalls), and every pillar bus (dTDMA arbitration). A nil probe
+// detaches everything, restoring the zero-overhead path.
+func (f *Fabric) SetProbe(p *obs.Probe) {
+	f.probe = p
+	for _, r := range f.routers {
+		r.SetProbe(p)
+	}
+	for _, b := range f.buses {
+		b.SetProbe(p)
+	}
+}
+
 // Mode returns the fabric's vertical interconnect mode.
 func (f *Fabric) Mode() VerticalMode { return f.mode }
 
@@ -159,6 +178,13 @@ func (f *Fabric) SetSink(c geom.Coord, fn func(p *noc.Packet, cycle uint64)) {
 		f.Delivered.Inc()
 		f.FlitHops.Add(uint64(p.Hops))
 		f.PktLatency.Observe(cycle - p.InjectedAt)
+		if f.probe != nil {
+			f.probe.Emit(obs.Event{
+				Cycle: cycle, Kind: obs.EvEject,
+				X: c.X, Y: c.Y, Layer: c.Layer,
+				ID: p.ID, A: cycle - p.InjectedAt, B: uint64(p.Hops),
+			})
+		}
 		if fn != nil {
 			fn(p, cycle)
 		}
@@ -204,6 +230,13 @@ func (f *Fabric) Send(p *noc.Packet) {
 		}
 		p.Via = via
 		p.HasVia = true
+	}
+	if f.probe != nil {
+		f.probe.Emit(obs.Event{
+			Cycle: f.now, Kind: obs.EvInject,
+			X: p.Src.X, Y: p.Src.Y, Layer: p.Src.Layer,
+			ID: p.ID, A: uint64(p.Size),
+		})
 	}
 	f.Router(p.Src).Inject(p)
 }
@@ -265,6 +298,16 @@ func (f *Fabric) Tick(cycle uint64) {
 		}
 	}
 	f.activeList = keep
+}
+
+// ForwardedFlits returns the total flits forwarded through every router's
+// crossbar — the numerator of mesh utilization.
+func (f *Fabric) ForwardedFlits() uint64 {
+	var n uint64
+	for _, r := range f.routers {
+		n += r.ForwardedFlits
+	}
+	return n
 }
 
 // BusFlits returns the total flits transferred across all pillar buses.

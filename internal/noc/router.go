@@ -4,6 +4,7 @@ import (
 	"math/bits"
 
 	"repro/internal/geom"
+	"repro/internal/obs"
 )
 
 // Endpoint is anything a router output port can push flits into: a
@@ -115,6 +116,11 @@ type Router struct {
 	// ForwardedFlits counts flits sent through this router's crossbar,
 	// for utilization and energy accounting.
 	ForwardedFlits uint64
+
+	// probe, when non-nil, receives packet-lifecycle events (per-hop
+	// routing, VC-allocation stalls). Nil by default: every emission site
+	// is guarded by one pointer comparison.
+	probe *obs.Probe
 }
 
 // NewRouter creates a router at pos with the standard five physical
@@ -179,6 +185,9 @@ func (r *Router) Inject(p *Packet) {
 
 // SetWorkHook installs the idle-to-busy notification callback.
 func (r *Router) SetWorkHook(fn func()) { r.work = fn }
+
+// SetProbe attaches (or, with nil, detaches) the observability probe.
+func (r *Router) SetProbe(p *obs.Probe) { r.probe = p }
 
 // QueuedPackets returns the number of packets waiting in the source queue.
 func (r *Router) QueuedPackets() int { return len(r.srcQ) }
@@ -263,6 +272,13 @@ func (r *Router) Tick(cycle uint64) {
 		if v.outVC < 0 {
 			v.outVC = ep.AllocVC(f.Pkt)
 			if v.outVC < 0 {
+				if r.probe != nil {
+					r.probe.Emit(obs.Event{
+						Cycle: cycle, Kind: obs.EvVCStall,
+						X: r.Pos.X, Y: r.Pos.Y, Layer: r.Pos.Layer,
+						ID: f.Pkt.ID, A: uint64(v.route),
+					})
+				}
 				continue // VC allocation stall
 			}
 		}
@@ -276,6 +292,13 @@ func (r *Router) Tick(cycle uint64) {
 		}
 		fl.Pkt.Hops++
 		r.ForwardedFlits++
+		if r.probe != nil && (fl.Type == Head || fl.Type == HeadTail) {
+			r.probe.Emit(obs.Event{
+				Cycle: cycle, Kind: obs.EvHop,
+				X: r.Pos.X, Y: r.Pos.Y, Layer: r.Pos.Layer,
+				ID: fl.Pkt.ID, A: uint64(v.route),
+			})
+		}
 		ep.Accept(fl, v.outVC, cycle)
 		usedIn[inDir] = true
 		usedOut[v.route] = true

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// traceEvent is one entry of the Chrome trace-event format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU).
+// Instant events ("ph":"i") carry the cycle in ts; metadata events
+// ("ph":"M") name the processes (device layers) and threads (routers).
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	Scope string         `json:"s,omitempty"`
+	TS    uint64         `json:"ts"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object container form, which both
+// chrome://tracing and Perfetto accept.
+type chromeTrace struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// tidOf packs an in-plane position into a stable thread id. Chip widths
+// are far below 4096, so the packing cannot collide.
+func tidOf(x, y int) int { return x<<12 | y }
+
+// WriteChromeTrace exports events as Chrome trace-event JSON. Each device
+// layer becomes a "process" and each emitting node a "thread" within it,
+// so Perfetto groups activity spatially; the simulation cycle is mapped
+// onto the microsecond timestamp axis (1 cycle = 1 us of trace time).
+// Events must be what a Sink received in order; the exporter sorts by
+// cycle to tolerate ring-buffer wrap seams.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	sorted := make([]Event, len(events))
+	copy(sorted, events)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Cycle < sorted[j].Cycle })
+
+	type nodeKey struct{ layer, tid int }
+	layers := map[int]bool{}
+	nodes := map[nodeKey][2]int{}
+	out := make([]traceEvent, 0, len(sorted)+16)
+	for _, e := range sorted {
+		tid := tidOf(e.X, e.Y)
+		layers[e.Layer] = true
+		nodes[nodeKey{e.Layer, tid}] = [2]int{e.X, e.Y}
+		out = append(out, traceEvent{
+			Name:  e.Kind.String(),
+			Cat:   e.Kind.Category().String(),
+			Phase: "i",
+			Scope: "t",
+			TS:    e.Cycle,
+			PID:   e.Layer,
+			TID:   tid,
+			Args: map[string]any{
+				"id": e.ID,
+				"a":  e.A,
+				"b":  e.B,
+			},
+		})
+	}
+
+	meta := make([]traceEvent, 0, len(layers)+len(nodes))
+	for l := range layers {
+		meta = append(meta, traceEvent{
+			Name: "process_name", Phase: "M", PID: l,
+			Args: map[string]any{"name": fmt.Sprintf("layer %d", l)},
+		})
+	}
+	for k, xy := range nodes {
+		meta = append(meta, traceEvent{
+			Name: "thread_name", Phase: "M", PID: k.layer, TID: k.tid,
+			Args: map[string]any{"name": fmt.Sprintf("node (%d,%d)", xy[0], xy[1])},
+		})
+	}
+	sort.Slice(meta, func(i, j int) bool {
+		if meta[i].PID != meta[j].PID {
+			return meta[i].PID < meta[j].PID
+		}
+		return meta[i].TID < meta[j].TID
+	})
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{
+		TraceEvents:     append(meta, out...),
+		DisplayTimeUnit: "ms",
+	})
+}

@@ -1,0 +1,54 @@
+package obs
+
+// RingSink is a bounded in-memory event sink: a circular buffer that keeps
+// the most recent Capacity events and counts the rest as dropped. It makes
+// tracing safe on arbitrarily long runs — memory is fixed at attach time —
+// while still capturing a full window of recent behaviour for export.
+type RingSink struct {
+	buf     []Event
+	next    int
+	n       int
+	dropped uint64
+}
+
+// NewRingSink creates a ring buffer holding up to capacity events.
+// Capacity must be at least 1.
+func NewRingSink(capacity int) *RingSink {
+	if capacity < 1 {
+		panic("obs: ring sink needs capacity >= 1")
+	}
+	return &RingSink{buf: make([]Event, capacity)}
+}
+
+// Record stores the event, overwriting the oldest when full.
+func (r *RingSink) Record(e Event) {
+	if r.n == len(r.buf) {
+		r.dropped++
+	} else {
+		r.n++
+	}
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % len(r.buf)
+}
+
+// Len returns the number of events currently held.
+func (r *RingSink) Len() int { return r.n }
+
+// Dropped returns how many events were overwritten by newer ones.
+func (r *RingSink) Dropped() uint64 { return r.dropped }
+
+// Events returns the retained events oldest-first. The slice is freshly
+// allocated; the ring keeps recording.
+func (r *RingSink) Events() []Event {
+	out := make([]Event, r.n)
+	start := (r.next - r.n + len(r.buf)) % len(r.buf)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.buf[(start+i)%len(r.buf)]
+	}
+	return out
+}
+
+// Reset discards all retained events and the drop count.
+func (r *RingSink) Reset() {
+	r.next, r.n, r.dropped = 0, 0, 0
+}

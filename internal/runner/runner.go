@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -29,6 +30,11 @@ type Job struct {
 	MeasureCycles uint64
 	// Seed makes the run deterministic.
 	Seed uint64
+	// SampleInterval, when non-zero, attaches an interval metrics sampler
+	// (core.System.AttachSampler) for the measurement window; its time
+	// series lands in Result.Samples. Zero leaves sampling off, costing
+	// nothing.
+	SampleInterval uint64
 }
 
 // Result pairs a Job with its outcome. Exactly one of Results/Err is
@@ -44,6 +50,9 @@ type Result struct {
 	// or a recovered simulation panic). A failed job never aborts the
 	// surrounding sweep.
 	Err error
+	// Samples is the per-job interval metrics time series, present only
+	// when Job.SampleInterval was non-zero and the job succeeded.
+	Samples *obs.TimeSeries
 }
 
 // Pool is a bounded worker pool for simulation sweeps. The zero value is
@@ -150,8 +159,15 @@ func runOne(i int, j Job) (res Result) {
 	sys.Start()
 	sys.Run(j.WarmCycles)
 	sys.ResetStats()
+	var sampler *obs.Sampler
+	if j.SampleInterval > 0 {
+		sampler = sys.AttachSampler(j.SampleInterval)
+	}
 	sys.Run(j.MeasureCycles)
 	res.Results = sys.Results()
+	if sampler != nil {
+		res.Samples = sampler.Series()
+	}
 	return res
 }
 

@@ -136,6 +136,59 @@ func TestPoolProgress(t *testing.T) {
 	}
 }
 
+// TestPoolSampleInterval checks that a job requesting interval metrics
+// carries its time series in the result — and that jobs without it don't.
+func TestPoolSampleInterval(t *testing.T) {
+	jobs := testJobs()[:2]
+	jobs[0].SampleInterval = 1_000
+	res := Run(jobs, 2)
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+	}
+	ts := res[0].Samples
+	if ts == nil {
+		t.Fatal("sampled job returned no time series")
+	}
+	if len(ts.Header) == 0 || ts.Header[0] != "cycle" {
+		t.Fatalf("header = %v, want cycle first", ts.Header)
+	}
+	// 6k measured cycles at a 1k interval, minus the priming tick.
+	if len(ts.Rows) < 4 {
+		t.Fatalf("%d rows sampled over a 6k-cycle window", len(ts.Rows))
+	}
+	accCol := -1
+	for i, h := range ts.Header {
+		if h == "l2_accesses" {
+			accCol = i
+		}
+	}
+	if accCol < 0 {
+		t.Fatalf("header %v missing l2_accesses", ts.Header)
+	}
+	var prev, accSum float64 = -1, 0
+	for i, row := range ts.Rows {
+		if len(row) != len(ts.Header) {
+			t.Fatalf("row %d has %d fields, header %d", i, len(row), len(ts.Header))
+		}
+		if row[0] <= prev {
+			t.Fatalf("cycles not increasing at row %d", i)
+		}
+		prev = row[0]
+		accSum += row[accCol]
+	}
+	if accSum == 0 {
+		t.Error("sampled deltas all zero on a live run")
+	}
+	if accSum > float64(res[0].Results.L2Accesses) {
+		t.Errorf("deltas sum to %v, cumulative counter is %d", accSum, res[0].Results.L2Accesses)
+	}
+	if res[1].Samples != nil {
+		t.Error("unsampled job carries a time series")
+	}
+}
+
 // TestPoolEmpty checks the degenerate sweep.
 func TestPoolEmpty(t *testing.T) {
 	if res := Run(nil, 8); len(res) != 0 {

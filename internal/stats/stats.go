@@ -88,10 +88,14 @@ func (l *Latency) String() string {
 
 // Histogram is a fixed-bucket histogram for cycle-valued samples. Bucket i
 // holds samples in [i*width, (i+1)*width); the final bucket is open-ended.
+// The largest sample ever observed is tracked separately, so percentiles
+// that land in the open-ended bucket report a real value instead of the
+// bucket's fabricated lower edge.
 type Histogram struct {
 	width   uint64
 	buckets []uint64
 	total   uint64
+	max     uint64
 }
 
 // NewHistogram creates a histogram with n buckets of the given width.
@@ -111,10 +115,19 @@ func (h *Histogram) Observe(v uint64) {
 	}
 	h.buckets[i]++
 	h.total++
+	if v > h.max {
+		h.max = v
+	}
 }
+
+// Max returns the largest sample observed, or 0 with no samples.
+func (h *Histogram) Max() uint64 { return h.max }
 
 // Total returns the number of samples.
 func (h *Histogram) Total() uint64 { return h.total }
+
+// Width returns the bucket width.
+func (h *Histogram) Width() uint64 { return h.width }
 
 // Bucket returns the count in bucket i.
 func (h *Histogram) Bucket(i int) uint64 { return h.buckets[i] }
@@ -124,7 +137,9 @@ func (h *Histogram) NumBuckets() int { return len(h.buckets) }
 
 // Percentile returns the smallest bucket upper bound at or below which at
 // least p (0..100) percent of the samples fall. Returns 0 for an empty
-// histogram.
+// histogram. When the answer lands in the open-ended last bucket, whose
+// upper bound is unknown, the observed maximum is reported instead of the
+// fabricated edge n*width — large tail samples are no longer understated.
 func (h *Histogram) Percentile(p float64) uint64 {
 	if h.total == 0 {
 		return 0
@@ -134,10 +149,13 @@ func (h *Histogram) Percentile(p float64) uint64 {
 	for i, b := range h.buckets {
 		cum += b
 		if cum >= target {
+			if i == len(h.buckets)-1 {
+				return h.max
+			}
 			return uint64(i+1) * h.width
 		}
 	}
-	return uint64(len(h.buckets)) * h.width
+	return h.max
 }
 
 // Set is a named collection of counters, handy for dumping simulator
@@ -170,6 +188,12 @@ func (s *Set) Names() []string {
 	sort.Strings(names)
 	return names
 }
+
+// Register installs an existing counter under the given name, so a
+// component can expose counters it already owns (struct fields, hot-path
+// increments untouched) through the set's Names/Value snapshot interface.
+// Registering a name twice replaces the earlier counter.
+func (s *Set) Register(name string, c *Counter) { s.counters[name] = c }
 
 // Value returns the value of the named counter, or 0 if absent.
 func (s *Set) Value(name string) uint64 {

@@ -131,6 +131,35 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
+// TestHistogramOverflowPercentile is the regression test for the
+// open-ended last bucket: a percentile landing there must report the
+// observed maximum, not the fabricated bound n*width, which understated
+// real tails (a 1000-cycle outlier used to read as "P99 = 40").
+func TestHistogramOverflowPercentile(t *testing.T) {
+	h := NewHistogram(4, 10) // buckets [0,10) [10,20) [20,30) [30,inf)
+	for i := 0; i < 99; i++ {
+		h.Observe(5)
+	}
+	h.Observe(1000)
+	if got := h.Percentile(50); got != 10 {
+		t.Fatalf("P50 = %d, want 10", got)
+	}
+	if got := h.Percentile(100); got != 1000 {
+		t.Fatalf("P100 = %d, want the observed max 1000, not 40", got)
+	}
+	if h.Max() != 1000 {
+		t.Fatalf("Max = %d, want 1000", h.Max())
+	}
+
+	// Samples inside the last bucket's nominal range also report the true
+	// observed maximum rather than the bucket edge.
+	h2 := NewHistogram(4, 10)
+	h2.Observe(33)
+	if got := h2.Percentile(99); got != 33 {
+		t.Fatalf("P99 = %d, want 33", got)
+	}
+}
+
 func TestHistogramEmptyPercentile(t *testing.T) {
 	h := NewHistogram(4, 2)
 	if h.Percentile(99) != 0 {
@@ -165,5 +194,22 @@ func TestSet(t *testing.T) {
 	}
 	if s.Value("missing") != 0 {
 		t.Fatal("missing counter must read 0")
+	}
+}
+
+func TestSetRegister(t *testing.T) {
+	var owned Counter // a counter owned elsewhere (e.g. a Metrics field)
+	owned.Add(5)
+	s := NewSet()
+	s.Register("owned", &owned)
+	if s.Value("owned") != 5 {
+		t.Fatalf("registered counter reads %d, want 5", s.Value("owned"))
+	}
+	owned.Inc() // increments through the owner remain visible
+	if s.Value("owned") != 6 {
+		t.Fatalf("registered counter reads %d after Inc, want 6", s.Value("owned"))
+	}
+	if names := s.Names(); len(names) != 1 || names[0] != "owned" {
+		t.Fatalf("Names = %v", names)
 	}
 }

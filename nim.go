@@ -36,6 +36,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/thermal"
 	"repro/internal/trace"
@@ -195,3 +196,52 @@ func (s *Simulation) WriteHeatmap(w io.Writer) { s.sys.WriteHeatmap(w) }
 
 // WriteBusReport summarizes each pillar bus's traffic and utilization.
 func (s *Simulation) WriteBusReport(w io.Writer) { s.sys.BusReport(w) }
+
+// --- Observability (internal/obs) --------------------------------------
+
+// TraceEvent is one cycle-stamped structured event: packet lifecycle,
+// dTDMA arbitration, cache-line migration, or MSI coherence activity.
+type TraceEvent = obs.Event
+
+// TraceSink receives trace events; implement it to stream events to a
+// custom destination, or use NewTraceRing for the standard bounded buffer.
+type TraceSink = obs.Sink
+
+// TraceRing is a bounded in-memory sink keeping the most recent events.
+type TraceRing = obs.RingSink
+
+// NewTraceRing returns a ring sink holding up to capacity events.
+func NewTraceRing(capacity int) *TraceRing { return obs.NewRingSink(capacity) }
+
+// WriteChromeTrace exports trace events as Chrome trace-event JSON, which
+// chrome://tracing and Perfetto (ui.perfetto.dev) open directly.
+func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
+	return obs.WriteChromeTrace(w, events)
+}
+
+// MetricsSampler takes periodic interval-metrics snapshots; read the
+// accumulated table with Series().
+type MetricsSampler = obs.Sampler
+
+// MetricsSeries is a sampled metrics table with CSV/JSON export.
+type MetricsSeries = obs.TimeSeries
+
+// AttachTracer attaches a trace sink to every instrumented layer of the
+// machine: packet inject/hop/VC-stall/eject, dTDMA slot-wheel resizing and
+// bus grants, migration steps, and MSI coherence transitions all flow into
+// the sink as cycle-stamped TraceEvents. A nil sink detaches tracing and
+// restores the zero-overhead path (an unattached simulation pays one nil
+// check per would-be event).
+func (s *Simulation) AttachTracer(sink TraceSink) {
+	s.sys.AttachProbe(obs.NewProbe(sink))
+}
+
+// AttachSampler registers an interval metrics sampler ticking every
+// interval cycles: counter deltas (hits, misses, migration rate, ...), L2
+// hit-latency mean and P95 over the interval, mesh router utilization, and
+// per-pillar bus occupancy. Attach it at the start of the window you want
+// sampled (typically right after ResetStats); see core.System.AttachSampler
+// for the column reference.
+func (s *Simulation) AttachSampler(interval uint64) *MetricsSampler {
+	return s.sys.AttachSampler(interval)
+}
