@@ -501,6 +501,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	sim.Start()
 	b.ResetTimer()
 	sim.Run(uint64(b.N))
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cycles/sec")
 }
 
 func BenchmarkThermalSolver(b *testing.B) {

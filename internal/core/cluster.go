@@ -76,18 +76,19 @@ func (cl *Cluster) set(p cache.Place) *cache.Set {
 // handle dispatches a cluster-addressed message that arrived over the
 // network.
 func (cl *Cluster) handle(m *Msg) {
+	s := cl.sys
 	switch m.Kind {
 	case msgProbeRead, msgProbeExcl:
 		// Tag array lookup latency (plus any wait for a port), then service.
-		cl.sys.Engine.After(cl.tagDelay(), func() { cl.serve(m, false) })
+		s.Engine.AfterEvent(cl.tagDelay(), s, evClusterServe, m)
 	case msgMigData:
-		cl.sys.Engine.After(uint64(cl.sys.Cfg.L2BankCycles), func() { cl.finishMigration(m) })
+		s.Engine.AfterEvent(uint64(s.Cfg.L2BankCycles), s, evClusterMigData, m)
 	case msgMigInval:
-		cl.sys.Engine.After(uint64(cl.sys.Cfg.TagCycles), func() { cl.retireOldCopy(m) })
+		s.Engine.AfterEvent(uint64(s.Cfg.TagCycles), s, evClusterMigInval, m)
 	case msgReplData:
-		cl.sys.Engine.After(uint64(cl.sys.Cfg.L2BankCycles), func() { cl.installReplica(m) })
+		s.Engine.AfterEvent(uint64(s.Cfg.L2BankCycles), s, evClusterReplData, m)
 	case msgReplInval:
-		cl.sys.Engine.After(uint64(cl.sys.Cfg.TagCycles), func() { cl.dropReplica(m) })
+		s.Engine.AfterEvent(uint64(s.Cfg.TagCycles), s, evClusterReplInval, m)
 	case msgInvalAck:
 		cl.sys.M.InvalAcks.Inc()
 	default:
@@ -100,7 +101,7 @@ func (cl *Cluster) handle(m *Msg) {
 // costs TagCycles with no network traversal; only the data reply (from the
 // bank) rides the network.
 func (cl *Cluster) serveDirect(m *Msg) {
-	cl.sys.Engine.After(cl.tagDelay(), func() { cl.serve(m, true) })
+	cl.sys.Engine.AfterEvent(cl.tagDelay(), cl.sys, evClusterServeDirect, m)
 }
 
 // serve performs the tag lookup and, on a hit, the directory actions, the
@@ -114,11 +115,7 @@ func (cl *Cluster) serve(m *Msg, direct bool) {
 	set := cl.set(p)
 	way, ok := set.Lookup(p.Tag)
 	if !ok {
-		if direct {
-			s.nack(m.Txn)
-		} else {
-			s.send(cl.center, &Msg{Kind: msgNack, Txn: m.Txn, CPU: m.CPU, Cluster: cl.id, Addr: m.Addr})
-		}
+		cl.nackProbe(m, direct)
 		return
 	}
 
@@ -133,11 +130,7 @@ func (cl *Cluster) serve(m *Msg, direct bool) {
 			s.cleanReplicaMask(m.Addr)
 			s.dropReplicaL1Sharers(m.Addr, cl, *e)
 			set.Invalidate(p.Tag)
-			if direct {
-				s.nack(m.Txn)
-			} else {
-				s.send(cl.center, &Msg{Kind: msgNack, Txn: m.Txn, CPU: m.CPU, Cluster: cl.id, Addr: m.Addr})
-			}
+			cl.nackProbe(m, direct)
 			return
 		}
 		bank.Writes++
@@ -165,10 +158,27 @@ func (cl *Cluster) serve(m *Msg, direct bool) {
 		s.maybeMigrate(cl, m.Addr, p, e, m.CPU)
 	}
 
-	bankNode := s.Top.BankCoord(cl.id, p.Bank)
-	s.Engine.After(uint64(s.Cfg.L2BankCycles), func() {
-		s.send(bankNode, &Msg{Kind: msgData, Txn: m.Txn, CPU: m.CPU, Cluster: cl.id, Addr: m.Addr})
-	})
+	// The probe is terminal on a hit: reuse it, mutated in place, as the
+	// data reply instead of allocating a fresh Msg. The reply is sent from
+	// the serving bank's node once the bank access completes.
+	m.Kind = msgData
+	m.Cluster = cl.id
+	m.ToCluster = false
+	s.Engine.AfterEvent(uint64(s.Cfg.L2BankCycles), s, evClusterDataReply, m)
+}
+
+// nackProbe reports a tag miss back to the requester: directly into the
+// transaction table for the local tag array, or as a msgNack over the
+// network, reusing the terminal probe Msg as the reply.
+func (cl *Cluster) nackProbe(m *Msg, direct bool) {
+	if direct {
+		cl.sys.nack(m.Txn)
+		return
+	}
+	m.Kind = msgNack
+	m.Cluster = cl.id
+	m.ToCluster = false
+	cl.sys.send(cl.center, m)
 }
 
 // invalidateSharers sends directory invalidations to every L1 holding the

@@ -30,8 +30,17 @@ type CPU struct {
 	ifetches     uint64
 	ifetchMisses uint64
 	storeCredits int
-	blockedStore *trace.Ref
-	stalledRef   *trace.Ref // reference waiting behind an ifetch miss
+
+	// blockedStore/stalledRef hold the reference waiting on a full store
+	// buffer / an ifetch miss; pendingRef carries the reference of the
+	// core's single outstanding typed pipeline event (the in-order core
+	// never has two such events in flight). Value fields: scheduling a
+	// delayed access allocates nothing.
+	blockedStore trace.Ref
+	hasBlocked   bool
+	stalledRef   trace.Ref
+	hasStalled   bool
+	pendingRef   trace.Ref
 
 	running bool
 }
@@ -54,7 +63,7 @@ func newCPU(sys *System, id int, gen trace.Stream) *CPU {
 // real cores never tick in lockstep.
 func (c *CPU) start() {
 	c.running = true
-	c.sys.Engine.After(uint64(1+c.id), c.step)
+	c.sys.Engine.AfterEvent(uint64(1+c.id), c.sys, evCPUStep, c)
 }
 
 // step fetches the next reference, executes its leading non-memory
@@ -69,7 +78,8 @@ func (c *CPU) step() {
 		c.access(ref)
 		return
 	}
-	c.sys.Engine.After(uint64(ref.Gap), func() { c.access(ref) })
+	c.pendingRef = ref
+	c.sys.Engine.AfterEvent(uint64(ref.Gap), c.sys, evCPUAccess, c)
 }
 
 func (c *CPU) access(ref trace.Ref) {
@@ -80,11 +90,9 @@ func (c *CPU) access(ref trace.Ref) {
 			// An instruction-cache miss stalls the in-order front end; the
 			// data access resumes when the code line returns.
 			c.ifetchMisses++
-			r := ref
-			c.stalledRef = &r
-			c.sys.Engine.After(uint64(c.sys.Cfg.L1HitCycles), func() {
-				c.sys.startIfetch(c, ref.Code)
-			})
+			c.stalledRef = ref
+			c.hasStalled = true
+			c.sys.Engine.AfterEvent(uint64(c.sys.Cfg.L1HitCycles), c.sys, evCPUIfetch, c)
 			return
 		}
 	}
@@ -94,12 +102,12 @@ func (c *CPU) access(ref trace.Ref) {
 // ifetchDone fills the instruction cache and resumes the stalled reference.
 func (c *CPU) ifetchDone(code cache.LineAddr) {
 	c.l1i.install(code, false)
-	if c.stalledRef == nil {
+	if !c.hasStalled {
 		return
 	}
-	ref := *c.stalledRef
-	c.stalledRef = nil
-	c.sys.Engine.After(1, func() { c.dataAccess(ref) })
+	c.pendingRef = c.stalledRef
+	c.hasStalled = false
+	c.sys.Engine.AfterEvent(1, c.sys, evCPUData, c)
 }
 
 func (c *CPU) dataAccess(ref trace.Ref) {
@@ -115,12 +123,11 @@ func (c *CPU) dataAccess(ref trace.Ref) {
 func (c *CPU) load(ref trace.Ref) {
 	c.loads++
 	if hit, _ := c.l1.lookup(ref.Addr); hit {
-		c.sys.Engine.After(uint64(c.sys.Cfg.L1HitCycles), c.step)
+		c.sys.Engine.AfterEvent(uint64(c.sys.Cfg.L1HitCycles), c.sys, evCPUStep, c)
 		return
 	}
-	c.sys.Engine.After(uint64(c.sys.Cfg.L1HitCycles), func() {
-		c.sys.startTxn(c, ref.Addr, false)
-	})
+	c.pendingRef = ref
+	c.sys.Engine.AfterEvent(uint64(c.sys.Cfg.L1HitCycles), c.sys, evCPULoadMiss, c)
 }
 
 // store performs a write-through store. A hit on a Modified line retires
@@ -131,24 +138,24 @@ func (c *CPU) store(ref trace.Ref) {
 	c.stores++
 	hit, modified := c.l1.lookup(ref.Addr)
 	if hit && modified {
-		c.sys.Engine.After(1, c.step)
+		c.sys.Engine.AfterEvent(1, c.sys, evCPUStep, c)
 		return
 	}
 	if c.storeCredits == 0 {
-		r := ref
-		c.blockedStore = &r
+		c.blockedStore = ref
+		c.hasBlocked = true
 		return // resumed by storeDone
 	}
 	c.storeCredits--
 	c.sys.startTxn(c, ref.Addr, true)
-	c.sys.Engine.After(1, c.step)
+	c.sys.Engine.AfterEvent(1, c.sys, evCPUStep, c)
 }
 
 // loadDone receives the data for a blocking load: fill the L1 Shared and
 // resume execution.
 func (c *CPU) loadDone(addr cache.LineAddr) {
 	c.l1.install(addr, false)
-	c.sys.Engine.After(1, c.step)
+	c.sys.Engine.AfterEvent(1, c.sys, evCPUStep, c)
 }
 
 // storeDone completes an exclusive transaction: fill Modified, return the
@@ -156,12 +163,12 @@ func (c *CPU) loadDone(addr cache.LineAddr) {
 func (c *CPU) storeDone(addr cache.LineAddr) {
 	c.l1.install(addr, true)
 	c.storeCredits++
-	if c.blockedStore != nil {
-		ref := *c.blockedStore
-		c.blockedStore = nil
+	if c.hasBlocked {
+		ref := c.blockedStore
+		c.hasBlocked = false
 		c.storeCredits--
 		c.sys.startTxn(c, ref.Addr, true)
-		c.sys.Engine.After(1, c.step)
+		c.sys.Engine.AfterEvent(1, c.sys, evCPUStep, c)
 	}
 }
 

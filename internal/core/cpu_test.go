@@ -85,7 +85,7 @@ func TestCPUStoreBufferBlocks(t *testing.T) {
 		s.Clusters[c.cluster].install(addr, 0, false)
 		c.store(trace.Ref{Addr: addr, Write: true})
 	}
-	if c.blockedStore == nil {
+	if !c.hasBlocked {
 		t.Fatal("store buffer overflow did not block")
 	}
 	if c.storeCredits != 0 {
@@ -93,7 +93,7 @@ func TestCPUStoreBufferBlocks(t *testing.T) {
 	}
 	drain(t, s)
 	s.Engine.Run(100)
-	if c.blockedStore != nil {
+	if c.hasBlocked {
 		t.Error("blocked store never resumed")
 	}
 	if c.storeCredits != storeBufferSlots {

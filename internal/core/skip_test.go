@@ -1,0 +1,36 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/trace"
+)
+
+// TestIdleSkipSystemEquivalence proves the engine's idle-cycle
+// fast-forwarding is invisible at the system level: a full warm + measure
+// run with skipping enabled (the default) produces results identical to one
+// that steps through every cycle, down to every counter and latency moment.
+func TestIdleSkipSystemEquivalence(t *testing.T) {
+	run := func(skip bool) Results {
+		prof, ok := trace.ProfileByName("mgrid", 8)
+		if !ok {
+			t.Fatal("profile missing")
+		}
+		s, err := NewSystem(config.Default(config.CMPDNUCA3D), prof, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Engine.SetIdleSkip(skip)
+		s.Warm(11)
+		s.Start()
+		s.Run(5_000)
+		s.ResetStats()
+		s.Run(20_000)
+		return s.Results()
+	}
+	skipped, stepped := run(true), run(false)
+	if skipped != stepped {
+		t.Fatalf("idle skipping changed results:\n skip: %+v\n step: %+v", skipped, stepped)
+	}
+}

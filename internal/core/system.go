@@ -272,7 +272,9 @@ func (s *System) send(from geom.Coord, m *Msg) {
 	default:
 		dst = s.CPUs[m.CPU].pos
 	}
-	s.Fab.Send(&noc.Packet{Src: from, Dst: dst, Size: m.Kind.flits(), Payload: m})
+	p := s.Fab.NewPacket()
+	p.Src, p.Dst, p.Size, p.Payload = from, dst, m.Kind.flits(), m
+	s.Fab.Send(p)
 }
 
 // startIfetch opens an instruction-fetch transaction: a read whose
@@ -487,7 +489,7 @@ func (s *System) memRequestArrived(m *Msg) {
 	if !ok {
 		return // transaction completed while the request was in flight
 	}
-	s.Engine.After(uint64(s.Cfg.MemoryCycles), func() { s.memArrive(t) })
+	s.Engine.AfterEvent(uint64(s.Cfg.MemoryCycles), s, evMemArrive, t)
 }
 
 // memArrive completes an off-chip fetch. If the line appeared in the L2
@@ -520,17 +522,9 @@ func (s *System) memArrive(t *txn) {
 	s.invalidateReplicas(t.addr, s.memCtrls[maxInt(t.memCtrl, 0)], -1)
 	cl.install(t.addr, 1<<uint(t.cpu.id), t.excl)
 	// The line enters the home bank while a copy travels from the serving
-	// memory controller to the requesting core.
-	from := t.cpu.pos
-	if t.memCtrl >= 0 {
-		from = s.memCtrls[t.memCtrl]
-	}
-	s.Engine.After(uint64(s.Cfg.L2BankCycles), func() {
-		s.send(from, &Msg{
-			Kind: msgData, Txn: t.id, CPU: t.cpu.id, Cluster: home,
-			Addr: t.addr, FromMemory: true,
-		})
-	})
+	// memory controller to the requesting core (evMemData recomputes the
+	// serving controller and home cluster from the transaction).
+	s.Engine.AfterEvent(uint64(s.Cfg.L2BankCycles), s, evMemData, t)
 }
 
 // Results summarizes a measurement window (since the last ResetStats).

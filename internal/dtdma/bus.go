@@ -80,6 +80,9 @@ func (p *TxPort) CanAccept(v int) bool { return !p.b.txs[p.layer].full() }
 func (p *TxPort) Accept(f noc.Flit, v int, cycle uint64) {
 	f.SetArrived(cycle)
 	p.b.txs[p.layer].push(f)
+	if p.b.pending == 0 && p.b.onBusy != nil {
+		p.b.onBusy()
+	}
 	p.b.pending++
 }
 
@@ -108,6 +111,10 @@ type Bus struct {
 	// count as of the previous probed tick, for edge detection.
 	probe       *obs.Probe
 	lastClients int
+
+	// onBusy/onIdle fire on the pending 0->1 and 1->0 edges, letting the
+	// fabric keep a busy-bus count instead of scanning every bus.
+	onBusy, onIdle func()
 }
 
 // NewBus creates a pillar bus with the given in-plane position spanning the
@@ -154,6 +161,12 @@ func (b *Bus) AttachRx(layer int, ep noc.Endpoint) {
 
 // SetProbe attaches (or, with nil, detaches) the observability probe.
 func (b *Bus) SetProbe(p *obs.Probe) { b.probe = p }
+
+// SetBusyHooks installs the edge callbacks invoked when the bus transitions
+// between empty and holding pending flits.
+func (b *Bus) SetBusyHooks(onBusy, onIdle func()) {
+	b.onBusy, b.onIdle = onBusy, onIdle
+}
 
 // Idle reports whether no transmitter holds flits.
 func (b *Bus) Idle() bool { return b.pending == 0 }
@@ -228,6 +241,9 @@ func (b *Bus) Tick(cycle uint64) {
 		}
 		fl := t.pop()
 		b.pending--
+		if b.pending == 0 && b.onIdle != nil {
+			b.onIdle()
+		}
 		fl.Pkt.Hops++
 		if b.probe != nil {
 			b.probe.Emit(obs.Event{

@@ -43,9 +43,17 @@ type Fabric struct {
 	now    uint64
 
 	// activeList/activeFlag track routers holding work, so Tick visits
-	// only busy routers instead of the whole chip.
+	// only busy routers instead of the whole chip. busyBuses counts pillar
+	// buses holding pending flits (maintained by bus edge hooks); together
+	// they make Quiescent and Idle O(1).
 	activeList []int
 	activeFlag []bool
+	busyBuses  int
+
+	// pool recycles protocol packets: NewPacket draws from it and the
+	// ejection sink returns pool-origin packets after the delivery callback,
+	// so steady-state traffic allocates no Packet objects.
+	pool noc.PacketPool
 
 	// Delivered counts packets ejected at their destination; FlitHops
 	// accumulates per-flit link traversals for energy accounting.
@@ -107,6 +115,10 @@ func NewWithVertical(dim geom.Dim, pillars []geom.Coord, mode VerticalMode) *Fab
 		case VerticalBus:
 			for id, p := range f.pillars {
 				bus := dtdma.NewBus(id, p, dim.Layers)
+				bus.SetBusyHooks(
+					func() { f.busyBuses++ },
+					func() { f.busyBuses-- },
+				)
 				for l := 0; l < dim.Layers; l++ {
 					r := f.Router(geom.Coord{X: p.X, Y: p.Y, Layer: l})
 					r.AttachVertical(bus.Tx(l))
@@ -188,8 +200,16 @@ func (f *Fabric) SetSink(c geom.Coord, fn func(p *noc.Packet, cycle uint64)) {
 		if fn != nil {
 			fn(p, cycle)
 		}
+		// The packet is dead once the delivery callback returns; recycle
+		// pool-origin packets (Put ignores caller-constructed ones).
+		f.pool.Put(p)
 	})
 }
+
+// NewPacket returns a zeroed packet drawn from the fabric's free list. The
+// caller fills it in and hands it to Send; the fabric recycles it when the
+// tail flit ejects, so the reference must not be retained past delivery.
+func (f *Fabric) NewPacket() *noc.Packet { return f.pool.Get() }
 
 // BestPillar returns the pillar position minimizing the total in-plane
 // distance src->pillar plus pillar->dst (the vertical hop itself is a
@@ -282,6 +302,11 @@ func (f *Fabric) activate(i int) {
 // join the list for the next cycle; routers that drained leave it.
 func (f *Fabric) Tick(cycle uint64) {
 	f.now = cycle
+	if f.probe == nil && len(f.activeList) == 0 && f.busyBuses == 0 {
+		// Nothing in flight and no probe watching the dTDMA slot wheel:
+		// the whole network tick is a no-op.
+		return
+	}
 	snapshot := len(f.activeList)
 	for k := 0; k < snapshot; k++ {
 		f.routers[f.activeList[k]].Tick(cycle)
@@ -319,8 +344,17 @@ func (f *Fabric) BusFlits() uint64 {
 	return n
 }
 
-// Quiescent reports whether the network holds no traffic at all.
+// Quiescent reports whether the network holds no traffic at all. It is O(1):
+// every non-idle router is on the active list (the work hooks fire on each
+// idle-to-busy edge, and drained routers are pruned at the end of each Tick),
+// and busyBuses counts buses with pending flits via the bus edge hooks.
 func (f *Fabric) Quiescent() bool {
+	return len(f.activeList) == 0 && f.busyBuses == 0
+}
+
+// quiescentScan is the brute-force quiescence check, retained as the oracle
+// for tests cross-checking the O(1) fast path.
+func (f *Fabric) quiescentScan() bool {
 	for _, r := range f.routers {
 		if !r.Idle() {
 			return false
@@ -332,4 +366,11 @@ func (f *Fabric) Quiescent() bool {
 		}
 	}
 	return true
+}
+
+// Idle reports whether advancing the fabric one cycle would be a no-op, so
+// the engine may skip ahead. A probed fabric is never idle: the dTDMA slot
+// wheel emits grow/shrink edge events even on empty cycles.
+func (f *Fabric) Idle() bool {
+	return f.probe == nil && len(f.activeList) == 0 && f.busyBuses == 0
 }

@@ -321,3 +321,120 @@ func TestVerticalRouterNoDeadlock(t *testing.T) {
 		t.Fatalf("deadlock or loss in router mode: %d of %d", delivered, total)
 	}
 }
+
+func TestQuiescentMatchesScan(t *testing.T) {
+	// The O(1) quiescence check (active-router list + busy-bus counter) must
+	// agree with a brute-force scan of every router and bus at every
+	// between-tick observation point under random traffic.
+	dim := geom.Dim{Width: 4, Height: 4, Layers: 2}
+	f := New(dim, []geom.Coord{{X: 1, Y: 1}})
+	for i := 0; i < dim.Nodes(); i++ {
+		f.SetSink(dim.CoordOf(i), nil)
+	}
+	cycle := uint64(0)
+	check := func() {
+		t.Helper()
+		if f.Quiescent() != f.quiescentScan() {
+			t.Fatalf("cycle %d: Quiescent=%v scan=%v",
+				cycle, f.Quiescent(), f.quiescentScan())
+		}
+	}
+	check()
+	rng := rand.New(rand.NewSource(3))
+	for k := 0; k < 300; k++ {
+		for i := rng.Intn(4); i > 0; i-- {
+			src := dim.CoordOf(rng.Intn(dim.Nodes()))
+			dst := dim.CoordOf(rng.Intn(dim.Nodes()))
+			if src == dst {
+				continue
+			}
+			size := 1
+			if rng.Intn(2) == 0 {
+				size = noc.DataPacketFlits
+			}
+			f.Send(&noc.Packet{Src: src, Dst: dst, Size: size})
+			check()
+		}
+		for j := rng.Intn(8); j > 0; j-- {
+			f.Tick(cycle)
+			cycle++
+			check()
+		}
+	}
+	for i := 0; i < 5000 && !f.quiescentScan(); i++ {
+		f.Tick(cycle)
+		cycle++
+		check()
+	}
+	if !f.Quiescent() {
+		t.Fatal("fabric did not quiesce after the traffic drained")
+	}
+}
+
+func TestPoolPacketsRecycledOnEjection(t *testing.T) {
+	f := New(geom.Dim{Width: 4, Height: 1, Layers: 1}, nil)
+	dst := geom.Coord{X: 3, Y: 0, Layer: 0}
+	delivered := 0
+	f.SetSink(dst, func(p *noc.Packet, cycle uint64) { delivered++ })
+	first := f.NewPacket()
+	first.Src, first.Dst, first.Size = geom.Coord{X: 0, Y: 0, Layer: 0}, dst, 1
+	f.Send(first)
+	run(f, func() bool { return delivered == 1 }, 100)
+	if delivered != 1 {
+		t.Fatal("packet not delivered")
+	}
+	second := f.NewPacket()
+	if second != first {
+		t.Fatal("ejected pool packet was not recycled")
+	}
+	if second.ID != 0 || second.Size != 0 || second.Hops != 0 {
+		t.Fatalf("recycled packet not zeroed: %+v", second)
+	}
+}
+
+func TestCallerPacketsSurviveEjection(t *testing.T) {
+	// Packets constructed directly (tests, ad-hoc traffic) must keep their
+	// contents after delivery — only pool-origin packets are recycled.
+	f := New(geom.Dim{Width: 4, Height: 1, Layers: 1}, nil)
+	dst := geom.Coord{X: 3, Y: 0, Layer: 0}
+	var got *noc.Packet
+	f.SetSink(dst, func(p *noc.Packet, cycle uint64) { got = p })
+	p := &noc.Packet{Src: geom.Coord{X: 0, Y: 0, Layer: 0}, Dst: dst, Size: 1, Payload: "payload"}
+	f.Send(p)
+	run(f, func() bool { return got != nil }, 100)
+	if got != p || got.Payload != "payload" {
+		t.Fatalf("caller-constructed packet mutated after delivery: %+v", got)
+	}
+}
+
+func TestSendEjectSteadyStateAllocs(t *testing.T) {
+	// A pool-drawn Send followed by delivery must not allocate once queues,
+	// pool, and active lists have reached steady-state capacity.
+	dim := geom.Dim{Width: 4, Height: 4, Layers: 2}
+	f := New(dim, []geom.Coord{{X: 1, Y: 1}})
+	src := geom.Coord{X: 0, Y: 0, Layer: 0}
+	dst := geom.Coord{X: 3, Y: 3, Layer: 1}
+	delivered := 0
+	f.SetSink(dst, func(p *noc.Packet, cycle uint64) { delivered++ })
+	cycle := uint64(0)
+	roundTrip := func() {
+		p := f.NewPacket()
+		p.Src, p.Dst, p.Size = src, dst, noc.DataPacketFlits
+		f.Send(p)
+		for i := 0; i < 40; i++ {
+			f.Tick(cycle)
+			cycle++
+		}
+	}
+	for i := 0; i < 4; i++ {
+		roundTrip()
+	}
+	before := delivered
+	avg := testing.AllocsPerRun(100, roundTrip)
+	if delivered <= before {
+		t.Fatal("no packets delivered during the measured runs")
+	}
+	if avg != 0 {
+		t.Errorf("Send→eject round trip allocates %.1f objects/op, want 0", avg)
+	}
+}

@@ -99,8 +99,43 @@ type Packet struct {
 	// routes in-plane on the reserved escape VC.
 	vertical bool
 
+	// pooled marks a packet drawn from a PacketPool; only pooled packets
+	// are recycled on ejection, so caller-constructed packets keep their
+	// contents after delivery.
+	pooled bool
+
 	// Hops counts router-to-router and bus traversals, for energy accounting.
 	Hops int
+}
+
+// PacketPool is a free list of Packets for allocation-free steady-state
+// injection: the fabric draws every protocol packet from the pool and
+// returns it when the tail flit ejects at its destination. The pool is not
+// safe for concurrent use; each simulated machine owns one.
+type PacketPool struct {
+	free []*Packet
+}
+
+// Get returns a zeroed packet, reusing a recycled one when available.
+func (pp *PacketPool) Get() *Packet {
+	if n := len(pp.free); n > 0 {
+		p := pp.free[n-1]
+		pp.free[n-1] = nil
+		pp.free = pp.free[:n-1]
+		return p
+	}
+	return &Packet{pooled: true}
+}
+
+// Put recycles a packet for reuse. Packets not drawn from a pool are left
+// untouched, so callers that construct packets directly may retain them
+// after delivery. The caller must not hold a reference past Put.
+func (pp *PacketPool) Put(p *Packet) {
+	if p == nil || !p.pooled {
+		return
+	}
+	*p = Packet{pooled: true}
+	pp.free = append(pp.free, p)
 }
 
 // CrossesLayers reports whether the packet must ride a pillar bus.

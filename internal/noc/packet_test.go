@@ -1,0 +1,100 @@
+package noc
+
+import "testing"
+
+func TestPacketPoolRecycles(t *testing.T) {
+	var pp PacketPool
+	p := pp.Get()
+	p.ID, p.Size, p.Hops = 42, 4, 7
+	p.MarkVertical()
+	pp.Put(p)
+	q := pp.Get()
+	if q != p {
+		t.Fatal("pool did not reuse the recycled packet")
+	}
+	if q.ID != 0 || q.Size != 0 || q.Hops != 0 || q.Vertical() {
+		t.Fatalf("recycled packet not zeroed: %+v", q)
+	}
+}
+
+func TestPacketPoolIgnoresForeignPackets(t *testing.T) {
+	var pp PacketPool
+	ext := &Packet{ID: 7, Payload: "keep"}
+	pp.Put(ext)
+	if got := pp.Get(); got == ext {
+		t.Fatal("caller-constructed packet must not enter the pool")
+	}
+	if ext.ID != 7 || ext.Payload != "keep" {
+		t.Fatalf("caller-constructed packet mutated by Put: %+v", ext)
+	}
+	pp.Put(nil) // must not panic
+}
+
+func TestSourceQueueOrderPreserved(t *testing.T) {
+	// Head-index draining must keep strict FIFO injection order.
+	routers, _ := line(2)
+	var order []uint64
+	routers[1].SetSink(func(p *Packet, cycle uint64) { order = append(order, p.ID) })
+	const n = 30
+	for i := 1; i <= n; i++ {
+		routers[0].Inject(&Packet{ID: uint64(i), Src: routers[0].Pos, Dst: routers[1].Pos, Size: 4})
+	}
+	tickAll(routers, 500)
+	if len(order) != n {
+		t.Fatalf("delivered %d of %d", len(order), n)
+	}
+	for i, id := range order {
+		if id != uint64(i+1) {
+			t.Fatalf("delivery order %v", order)
+		}
+	}
+}
+
+func TestSourceQueueReleasesDrainedPackets(t *testing.T) {
+	// Drained slots must be nil so delivered packets are not pinned by the
+	// queue's backing array (the old slice-reslice drain kept them live).
+	routers, _ := line(2)
+	r := routers[0]
+	for i := 0; i < 8; i++ {
+		r.Inject(&Packet{Src: r.Pos, Dst: routers[1].Pos, Size: 1})
+	}
+	tickAll(routers, 200)
+	if !r.Idle() {
+		t.Fatal("queue did not drain")
+	}
+	for i, p := range r.srcQ[:cap(r.srcQ)] {
+		if p != nil {
+			t.Fatalf("drained slot %d still references a packet", i)
+		}
+	}
+}
+
+func TestSourceQueueCapacityBounded(t *testing.T) {
+	// Sustained traffic at bounded occupancy must keep the backing array at
+	// its high-water size instead of growing with total packets sent.
+	routers, got := line(2)
+	r := routers[0]
+	cycle := 0
+	tick := func(n int) {
+		for i := 0; i < n; i++ {
+			for _, rr := range routers {
+				rr.Tick(uint64(cycle))
+			}
+			cycle++
+		}
+	}
+	const total = 2000
+	for k := 0; k < total; k++ {
+		r.Inject(&Packet{Src: r.Pos, Dst: routers[1].Pos, Size: 1})
+		if k%4 == 3 {
+			tick(12) // drain the burst of 4
+		}
+	}
+	tick(200)
+	if len(*got) != total {
+		t.Fatalf("delivered %d of %d", len(*got), total)
+	}
+	if c := cap(r.srcQ); c > 64 {
+		t.Fatalf("source queue capacity grew to %d under bounded occupancy", c)
+	}
+}

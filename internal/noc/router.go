@@ -97,8 +97,13 @@ type Router struct {
 
 	// Source (injection) queue: unbounded, so protocol layers above the
 	// network can never deadlock on injection back-pressure. Source-queue
-	// wait time is part of measured latency.
+	// wait time is part of measured latency. The queue is a head-indexed
+	// ring over one slice: draining advances srcHead (nil-ing the slot so
+	// delivered packets are not pinned) and the slice compacts once the
+	// drained prefix dominates, keeping capacity bounded by the high-water
+	// occupancy instead of growing with total traffic.
 	srcQ     []*Packet
+	srcHead  int
 	srcSeq   int
 	srcVC    int
 	buffered int // flits currently held in input VCs
@@ -190,18 +195,18 @@ func (r *Router) SetWorkHook(fn func()) { r.work = fn }
 func (r *Router) SetProbe(p *obs.Probe) { r.probe = p }
 
 // QueuedPackets returns the number of packets waiting in the source queue.
-func (r *Router) QueuedPackets() int { return len(r.srcQ) }
+func (r *Router) QueuedPackets() int { return len(r.srcQ) - r.srcHead }
 
 // Idle reports whether the router holds no flits and has nothing to inject.
-func (r *Router) Idle() bool { return r.buffered == 0 && len(r.srcQ) == 0 }
+func (r *Router) Idle() bool { return r.buffered == 0 && r.srcHead == len(r.srcQ) }
 
 // inject moves at most one flit per cycle from the source queue into the
 // local input port, claiming a VC per packet like any upstream link would.
 func (r *Router) inject(cycle uint64) {
-	if len(r.srcQ) == 0 {
+	if r.srcHead == len(r.srcQ) {
 		return
 	}
-	p := r.srcQ[0]
+	p := r.srcQ[r.srcHead]
 	port := r.in[geom.Local]
 	if r.srcVC < 0 {
 		r.srcVC = port.AllocVC(p)
@@ -215,9 +220,20 @@ func (r *Router) inject(cycle uint64) {
 	port.Accept(Flit{Type: flitTypeFor(r.srcSeq, p.Size), Pkt: p, Seq: r.srcSeq}, r.srcVC, cycle)
 	r.srcSeq++
 	if r.srcSeq == p.Size {
-		r.srcQ = r.srcQ[1:]
+		r.srcQ[r.srcHead] = nil
+		r.srcHead++
 		r.srcSeq = 0
 		r.srcVC = -1
+		switch {
+		case r.srcHead == len(r.srcQ):
+			r.srcQ = r.srcQ[:0]
+			r.srcHead = 0
+		case r.srcHead > len(r.srcQ)/2:
+			n := copy(r.srcQ, r.srcQ[r.srcHead:])
+			clear(r.srcQ[n:])
+			r.srcQ = r.srcQ[:n]
+			r.srcHead = 0
+		}
 	}
 }
 

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# bench.sh — run the simulator's perf-gate benchmarks and snapshot the
+# numbers as BENCH_<n>.json in the repo root (n auto-increments, so each
+# snapshot is preserved; commit the file as the evidence for a perf PR).
+#
+# Captured benchmarks:
+#   BenchmarkSimulatorThroughput  — whole-system cycles/sec (the headline)
+#   BenchmarkEventQueue/*         — engine event queue: legacy heap vs wheel
+#
+# Usage: scripts/bench.sh            (2s per benchmark)
+#        BENCHTIME=5s scripts/bench.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+pattern='BenchmarkSimulatorThroughput$|BenchmarkEventQueue'
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+for pkg in . ./internal/sim; do
+	go test -run '^$' -bench "$pattern" -benchmem \
+		-benchtime "${BENCHTIME:-2s}" "$pkg"
+done | tee "$raw"
+
+n=1
+while [ -e "BENCH_${n}.json" ]; do n=$((n + 1)); done
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+BEGIN {
+	printf "{\n  \"generated\": \"%s\",\n  \"benchmarks\": {\n", date
+	sep = ""
+}
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	printf "%s    \"%s\": {\"iterations\": %s", sep, name, $2
+	# Remaining fields are (value, unit) pairs: ns/op, custom metrics
+	# from ReportMetric, then -benchmem B/op and allocs/op.
+	for (i = 3; i + 1 <= NF; i += 2)
+		printf ", \"%s\": %s", $(i + 1), $i
+	printf "}"
+	sep = ",\n"
+}
+END { printf "\n  }\n}\n" }
+' "$raw" >"BENCH_${n}.json"
+
+echo "wrote BENCH_${n}.json"
