@@ -468,9 +468,10 @@ func BenchmarkAblationTagPorts(b *testing.B) {
 // Figure 13-style run. The "disabled" case is the default configuration —
 // no probe attached, every instrumentation site a nil check — and is the
 // one that must stay within 2% of the pre-instrumentation simulator. The
-// "enabled" case attaches a ring sink and shows the full-tracing price.
+// "enabled" case attaches a ring sink and shows the full-tracing price;
+// "spans" attaches the pooled transaction span recorder instead.
 func BenchmarkTracingOverhead(b *testing.B) {
-	run := func(b *testing.B, attach bool) {
+	run := func(b *testing.B, attach func(*nim.Simulation)) {
 		cfg := nim.DefaultConfig(nim.CMPDNUCA3D)
 		bench, _ := nim.BenchmarkByName("mgrid", cfg.NumCPUs)
 		sim, err := nim.NewSimulation(cfg, bench, 1)
@@ -479,14 +480,19 @@ func BenchmarkTracingOverhead(b *testing.B) {
 		}
 		sim.Warm()
 		sim.Start()
-		if attach {
-			sim.AttachTracer(nim.NewTraceRing(1 << 20))
+		if attach != nil {
+			attach(sim)
 		}
 		b.ResetTimer()
 		sim.Run(uint64(b.N))
 	}
-	b.Run("disabled", func(b *testing.B) { run(b, false) })
-	b.Run("enabled", func(b *testing.B) { run(b, true) })
+	b.Run("disabled", func(b *testing.B) { run(b, nil) })
+	b.Run("enabled", func(b *testing.B) {
+		run(b, func(s *nim.Simulation) { s.AttachTracer(nim.NewTraceRing(1 << 20)) })
+	})
+	b.Run("spans", func(b *testing.B) {
+		run(b, func(s *nim.Simulation) { s.AttachSpans() })
+	})
 }
 
 func BenchmarkSimulatorThroughput(b *testing.B) {

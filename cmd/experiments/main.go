@@ -40,6 +40,7 @@ func main() {
 		scaling  = flag.Bool("scaling", false, "run the CPU-count scaling study (4/8/16 cores)")
 		csvDir   = flag.String("csv", "", "also write each figure's data as CSV into this directory")
 		ablate   = flag.Bool("ablations", false, "run the design-choice ablations")
+		brkdown  = flag.Bool("breakdown", false, "run the L2 latency decomposition across the four schemes")
 		table    = flag.Int("table", 0, "reproduce one table (1..5)")
 		figure   = flag.Int("figure", 0, "reproduce one figure (13..18)")
 		all      = flag.Bool("all", false, "reproduce every table and figure")
@@ -83,6 +84,10 @@ func main() {
 	}
 	if *ablate || *all {
 		ablations(opt)
+		ran = true
+	}
+	if *brkdown || *all {
+		breakdowns(names, opt)
 		ran = true
 	}
 	if *seeds > 1 {
@@ -527,6 +532,78 @@ func ablations(opt nim.Options) {
 	}
 	fmt.Printf("CPU-cluster skip in migration:            on %.1f cy,  off %.1f cy\n",
 		skipOn.AvgL2HitLatency, skipOff.AvgL2HitLatency)
+}
+
+// breakdowns decomposes each scheme's average L2 latency into the span
+// components (search rounds, network queue vs link, pillar-bus wait vs
+// transfer, tag, bank, DRAM), making visible which component each scheme
+// shrinks — the mechanism behind Figure 13 and the Section 6 discussion.
+func breakdowns(names []string, opt nim.Options) {
+	bench := names[0]
+	for _, n := range names {
+		if n == "mgrid" {
+			bench = n
+			break
+		}
+	}
+	header(fmt.Sprintf("Latency decomposition: where each scheme spends L2 cycles (%s)", bench))
+	schemes := nim.Schemes()
+	var jobs []nim.SweepJob
+	for _, s := range schemes {
+		j := nim.NewSweepJob(nim.DefaultConfig(s), bench, opt)
+		j.RecordSpans = true
+		jobs = append(jobs, j)
+	}
+	res := sweep(jobs, opt)
+
+	class := func(title, csvName string, pick func(b *nim.LatencyBreakdown) ([]nim.ComponentStat, float64)) {
+		fmt.Printf("\n%s (mean cycles, share of total)\n", title)
+		fmt.Printf("%-14s", "component")
+		for _, s := range schemes {
+			fmt.Printf(" %14s", s)
+		}
+		fmt.Println()
+		comps, _ := pick(res[0].Breakdown)
+		csvRows := [][]string{{"component", "cmp-dnuca", "cmp-dnuca-2d", "cmp-snuca-3d", "cmp-dnuca-3d"}}
+		for c := range comps {
+			if comps[c].Name == "l1" {
+				continue // pre-issue, identical everywhere, not in the total
+			}
+			any := false
+			for _, r := range res {
+				cs, _ := pick(r.Breakdown)
+				any = any || cs[c].Mean != 0
+			}
+			if !any {
+				continue
+			}
+			fmt.Printf("%-14s", comps[c].Name)
+			row := []string{comps[c].Name}
+			for _, r := range res {
+				cs, _ := pick(r.Breakdown)
+				fmt.Printf(" %9.1f %3.0f%%", cs[c].Mean, 100*cs[c].Share)
+				row = append(row, f1(cs[c].Mean))
+			}
+			fmt.Println()
+			csvRows = append(csvRows, row)
+		}
+		fmt.Printf("%-14s", "total")
+		totals := []string{"total"}
+		for _, r := range res {
+			_, total := pick(r.Breakdown)
+			fmt.Printf(" %9.1f     ", total)
+			totals = append(totals, f1(total))
+		}
+		fmt.Println()
+		writeCSV(csvName, append(csvRows, totals))
+	}
+	class("L2 hits", "breakdown_hits", func(b *nim.LatencyBreakdown) ([]nim.ComponentStat, float64) {
+		return b.Hits.Components, b.Hits.MeanTotal
+	})
+	class("L2 misses", "breakdown_misses", func(b *nim.LatencyBreakdown) ([]nim.ComponentStat, float64) {
+		return b.Misses.Components, b.Misses.MeanTotal
+	})
+	fmt.Println("(component sums equal the measured end-to-end means; the 3D schemes' savings\n concentrate in the request/reply link components, per the paper's Section 6)")
 }
 
 func intersect(names, allowed []string) []string {

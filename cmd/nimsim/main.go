@@ -8,6 +8,7 @@
 //	nimsim -scheme snuca3d -bench swim -layers 4 -measure 500000
 //	nimsim -scheme dnuca3d -bench art -pillars 2
 //	nimsim -scheme dnuca3d -bench mgrid -trace trace.json -metrics m.csv
+//	nimsim -scheme dnuca3d -bench mgrid -breakdown -spans spans.json
 package main
 
 import (
@@ -48,6 +49,8 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "deterministic seed")
 		traceOut = flag.String("trace", "", "write the measurement window's event trace as Chrome trace-event JSON (open in Perfetto)")
 		traceBuf = flag.Int("tracebuf", 1_000_000, "event-trace ring capacity (oldest events drop beyond it)")
+		spansOut = flag.String("spans", "", "write per-transaction latency spans as Chrome trace-event JSON (per-CPU Perfetto tracks)")
+		brkdown  = flag.Bool("breakdown", false, "print the per-component L2 latency decomposition")
 		metrics  = flag.String("metrics", "", "write interval metrics time series to this file (.json for JSON, CSV otherwise)")
 		interval = flag.Uint64("interval", 1_000, "metrics sampling period in cycles")
 		pprof    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -85,15 +88,27 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	// The span recorder attaches before the settle window so transactions
+	// in flight across the stats reset carry ledgers; ResetStats resets its
+	// aggregates, making the breakdown cover exactly the measured means.
+	var spans *nim.SpanRecorder
+	if *spansOut != "" || *brkdown {
+		spans = sim.AttachSpans()
+	}
 	sim.Start()
 	sim.Run(*warm)
 	sim.ResetStats()
-	// Observability attaches after the settle window, so the trace and the
-	// metrics series cover exactly the measured cycles.
+	// Event observability attaches after the settle window, so the trace
+	// and the metrics series cover exactly the measured cycles.
 	var ring *nim.TraceRing
 	if *traceOut != "" {
 		ring = nim.NewTraceRing(*traceBuf)
 		sim.AttachTracer(ring)
+	}
+	var spanRing *nim.TraceRing
+	if *spansOut != "" {
+		spanRing = nim.NewTraceRing(*traceBuf)
+		spans.SetSink(spanRing)
 	}
 	var sampler *nim.MetricsSampler
 	if *metrics != "" {
@@ -106,8 +121,10 @@ func main() {
 		if err := writeTrace(*traceOut, ring); err != nil {
 			fatalf("%v", err)
 		}
-		if n := ring.Dropped(); n > 0 {
-			fmt.Fprintf(os.Stderr, "nimsim: trace ring dropped %d oldest events (raise -tracebuf for full coverage)\n", n)
+	}
+	if spanRing != nil {
+		if err := writeTrace(*spansOut, spanRing); err != nil {
+			fatalf("%v", err)
 		}
 	}
 	if sampler != nil {
@@ -175,6 +192,13 @@ func main() {
 	fmt.Printf("  tags           %12.1f nJ\n", e.TagsPJ/1000)
 	fmt.Printf("  migration      %12.1f nJ\n", e.MigrationPJ/1000)
 	fmt.Printf("  total          %12.1f nJ\n", e.TotalPJ()/1000)
+
+	if *brkdown && r.Breakdown != nil {
+		fmt.Printf("\nL2 latency decomposition\n")
+		if err := r.Breakdown.WriteTable(os.Stdout); err != nil {
+			fatalf("%v", err)
+		}
+	}
 
 	if *heatmap {
 		fmt.Println()
@@ -247,15 +271,23 @@ func buildSimulation(cfg nim.Config, bench, mix, traceIn string, seed uint64) (*
 	}
 }
 
-// writeTrace dumps the ring's events as Chrome trace-event JSON.
+// writeTrace dumps the ring's events as Chrome trace-event JSON. A
+// non-zero drop count means the ring wrapped and the trace is partial: it
+// is embedded in the trace's metadata for Perfetto and warned about on
+// stderr.
 func writeTrace(path string, ring *nim.TraceRing) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := nim.WriteChromeTrace(f, ring.Events()); err != nil {
+	meta := nim.TraceMeta{DroppedEvents: ring.Dropped()}
+	if err := nim.WriteChromeTraceMeta(f, ring.Events(), meta); err != nil {
 		f.Close()
 		return err
+	}
+	if meta.DroppedEvents > 0 {
+		fmt.Fprintf(os.Stderr, "nimsim: %s: ring dropped %d oldest events; the trace is partial (raise -tracebuf for full coverage)\n",
+			path, meta.DroppedEvents)
 	}
 	return f.Close()
 }

@@ -80,7 +80,11 @@ func (cl *Cluster) handle(m *Msg) {
 	switch m.Kind {
 	case msgProbeRead, msgProbeExcl:
 		// Tag array lookup latency (plus any wait for a port), then service.
-		s.Engine.AfterEvent(cl.tagDelay(), s, evClusterServe, m)
+		d := cl.tagDelay()
+		if m.chain != nil {
+			m.chain.Tag = d
+		}
+		s.Engine.AfterEvent(d, s, evClusterServe, m)
 	case msgMigData:
 		s.Engine.AfterEvent(uint64(s.Cfg.L2BankCycles), s, evClusterMigData, m)
 	case msgMigInval:
@@ -101,7 +105,11 @@ func (cl *Cluster) handle(m *Msg) {
 // costs TagCycles with no network traversal; only the data reply (from the
 // bank) rides the network.
 func (cl *Cluster) serveDirect(m *Msg) {
-	cl.sys.Engine.AfterEvent(cl.tagDelay(), cl.sys, evClusterServeDirect, m)
+	d := cl.tagDelay()
+	if m.chain != nil {
+		m.chain.Tag = d
+	}
+	cl.sys.Engine.AfterEvent(d, cl.sys, evClusterServeDirect, m)
 }
 
 // serve performs the tag lookup and, on a hit, the directory actions, the
@@ -164,6 +172,9 @@ func (cl *Cluster) serve(m *Msg, direct bool) {
 	m.Kind = msgData
 	m.Cluster = cl.id
 	m.ToCluster = false
+	if m.chain != nil {
+		m.chain.Bank = uint64(s.Cfg.L2BankCycles)
+	}
 	s.Engine.AfterEvent(uint64(s.Cfg.L2BankCycles), s, evClusterDataReply, m)
 }
 
@@ -171,6 +182,11 @@ func (cl *Cluster) serve(m *Msg, direct bool) {
 // transaction table for the local tag array, or as a msgNack over the
 // network, reusing the terminal probe Msg as the reply.
 func (cl *Cluster) nackProbe(m *Msg, direct bool) {
+	if m.chain != nil {
+		// The attempt lost; the NACK reply carries no ledger.
+		cl.sys.spans.PutChain(m.chain)
+		m.chain = nil
+	}
 	if direct {
 		cl.sys.nack(m.Txn)
 		return

@@ -1,5 +1,7 @@
 package core
 
+import "repro/internal/obs"
+
 // Typed event kinds for the engine's allocation-free scheduling path
 // (sim.Engine.AfterEvent). Every fixed-latency completion on the simulator's
 // hot path — tag lookups, bank accesses, memory fetches, CPU pipeline
@@ -91,7 +93,13 @@ func (s *System) HandleEvent(kind uint8, data any) {
 		c := data.(*CPU)
 		s.startTxn(c, c.pendingRef.Addr, false)
 	case evMemArrive:
-		s.memArrive(data.(*txn))
+		t := data.(*txn)
+		if t.span != nil {
+			if _, live := s.txns[t.id]; live {
+				s.spans.Mark(t.span, obs.CompDram, s.Engine.Now())
+			}
+		}
+		s.memArrive(t)
 	case evMemData:
 		t := data.(*txn)
 		from := t.cpu.pos
@@ -99,10 +107,26 @@ func (s *System) HandleEvent(kind uint8, data any) {
 			from = s.memCtrls[t.memCtrl]
 		}
 		home := s.Cfg.L2.PlaceOf(t.addr).HomeCluster
-		s.send(from, &Msg{
+		m := &Msg{
 			Kind: msgData, Txn: t.id, CPU: t.cpu.id, Cluster: home,
 			Addr: t.addr, FromMemory: true,
-		})
+		}
+		if t.span != nil {
+			if _, live := s.txns[t.id]; live {
+				now := s.Engine.Now()
+				s.spans.Mark(t.span, obs.CompBank, now)
+				// Reuse the parked memory-request ledger for the reply leg
+				// (a post-fetch forward may have released it; open a fresh
+				// one then).
+				if t.chain == nil {
+					t.chain = s.spans.GetChain(now)
+				}
+				t.chain.SentAt = now
+				m.chain = t.chain
+				t.chain = nil
+			}
+		}
+		s.send(from, m)
 	default:
 		panic("core: unknown event kind")
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/cache"
 	"repro/internal/noc"
+	"repro/internal/obs"
 )
 
 // msgKind enumerates the protocol messages that ride the network.
@@ -102,4 +103,11 @@ type Msg struct {
 	// Sharers and Dirty carry directory state alongside a migrating line.
 	Sharers uint16
 	Dirty   bool
+
+	// chain, when span tracing is attached, is the ledger of the
+	// request/serve/reply attempt this message belongs to. Probes carry it
+	// out, the in-place data-reply mutation carries it home, and the
+	// winning attempt is folded into the transaction's span on completion.
+	// Nil on every message when tracing is off.
+	chain *obs.ChainSpan
 }

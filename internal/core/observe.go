@@ -17,6 +17,22 @@ func (s *System) AttachProbe(p *obs.Probe) {
 	s.Fab.SetProbe(p)
 }
 
+// AttachSpans attaches a transaction span recorder: from now on every L2
+// transaction carries a component ledger that tiles its whole lifetime —
+// search windows, per-hop network time split into queue vs link, pillar-bus
+// arbitration vs transfer, tag and bank service, DRAM — and Results gains
+// the aggregate Breakdown. Transactions already in flight are not traced,
+// so attach before the measurement window opens — ResetStats resets the
+// recorder's aggregates along with the other statistics, which makes the
+// traced set exactly the set the measured latency means cover. Unlike
+// AttachProbe the recorder registers no tickers and never wakes the
+// fabric, so idle-cycle skipping stays engaged; spans and chains are
+// pooled, so steady-state recording allocates nothing.
+func (s *System) AttachSpans() *obs.SpanRecorder {
+	s.spans = obs.NewSpanRecorder()
+	return s.spans
+}
+
 // AttachSampler registers a periodic metrics sampler with the engine:
 // every interval cycles it appends one row of interval metrics — counter
 // deltas from a stats.Set registry backed by the live Metrics fields, the
@@ -86,29 +102,13 @@ func (s *System) AttachSampler(interval uint64) *obs.Sampler {
 			lastBuckets = make([]uint64, nb)
 		}
 		lastHistTotal = h.Total()
-		var total uint64
 		deltas := make([]uint64, nb)
 		for i := 0; i < nb; i++ {
 			c := h.Bucket(i)
 			deltas[i] = c - lastBuckets[i]
-			total += deltas[i]
 			lastBuckets[i] = c
 		}
-		if total == 0 {
-			return 0
-		}
-		target := (total*95 + 99) / 100
-		var cum uint64
-		for i, d := range deltas {
-			cum += d
-			if cum >= target {
-				if i == nb-1 {
-					return float64(h.Max())
-				}
-				return float64(uint64(i+1) * h.Width())
-			}
-		}
-		return float64(h.Max())
+		return float64(stats.PercentileFromBuckets(deltas, h.Width(), h.Max(), 95))
 	})
 
 	// Mesh utilization: flits forwarded per router per cycle.

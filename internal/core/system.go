@@ -70,6 +70,12 @@ type txn struct {
 	afterMem bool
 	ifetch   bool // instruction fetch: fills the L1I instead of the L1D
 	memCtrl  int  // controller serving the off-chip fetch; -1 before one is chosen
+
+	// span is the transaction's component ledger when span tracing is
+	// attached (nil otherwise); chain parks the memory-request attempt's
+	// ledger between the controller delivery and the data reply.
+	span  *obs.TxnSpan
+	chain *obs.ChainSpan
 }
 
 // System is the complete simulated machine: cores, L1s, the clustered NUCA
@@ -110,6 +116,11 @@ type System struct {
 	// (the network layers hold their own copy via Fab.SetProbe). Nil by
 	// default; see AttachProbe.
 	obsProbe *obs.Probe
+
+	// spans, when non-nil, records per-transaction latency spans; see
+	// AttachSpans. Unlike obsProbe it is not a fabric probe and registers
+	// no tickers, so idle-cycle skipping stays engaged.
+	spans *obs.SpanRecorder
 
 	baseCycle, baseInstr, baseFlitHops, baseBusFlits uint64
 }
@@ -234,6 +245,9 @@ func (s *System) ResetStats() {
 	s.baseInstr = s.totalInstrs()
 	s.baseFlitHops = s.Fab.FlitHops.Value()
 	s.baseBusFlits = s.Fab.BusFlits()
+	if s.spans != nil {
+		s.spans.Reset()
+	}
 }
 
 func (s *System) totalInstrs() uint64 {
@@ -251,7 +265,7 @@ func (s *System) deliver(p *noc.Packet, cycle uint64) {
 	m := p.Payload.(*Msg)
 	switch {
 	case m.ToMem:
-		s.memRequestArrived(m)
+		s.memRequestArrived(m, cycle)
 	case m.ToCluster:
 		s.Clusters[m.Cluster].handle(m)
 	default:
@@ -274,7 +288,22 @@ func (s *System) send(from geom.Coord, m *Msg) {
 	}
 	p := s.Fab.NewPacket()
 	p.Src, p.Dst, p.Size, p.Payload = from, dst, m.Kind.flits(), m
+	if m.chain != nil {
+		if m.Kind == msgData {
+			p.Span = &m.chain.Rep
+		} else {
+			p.Span = &m.chain.Req
+		}
+	}
 	s.Fab.Send(p)
+	if p.Span != nil {
+		// The fabric stamps InjectedAt from its own clock, which lags the
+		// engine by one cycle while events (bank completions, protocol
+		// steps) are firing. The span ledger tiles engine-cycle windows, so
+		// restamp with the true send cycle; non-traced packets keep the
+		// fabric's stamp, leaving untraced runs bit-identical.
+		p.InjectedAt = s.Engine.Now()
+	}
 }
 
 // startIfetch opens an instruction-fetch transaction: a read whose
@@ -293,6 +322,14 @@ func (s *System) startTxn(c *CPU, addr cache.LineAddr, excl bool) {
 	t := &txn{id: s.nextTxn, cpu: c, addr: addr, excl: excl, issued: s.Engine.Now(), step: 1, memCtrl: -1}
 	s.txns[t.id] = t
 	s.M.L2Accesses.Inc()
+	if s.spans != nil {
+		t.span = s.spans.Begin(t.id, c.id, t.issued)
+		if !excl {
+			// Loads and instruction fetches paid the L1 lookup before the
+			// transaction issued (stores pay nothing up front).
+			s.spans.ChargeL1(t.span, uint64(s.Cfg.L1HitCycles))
+		}
+	}
 	switch {
 	case s.Cfg.Scheme.PerfectSearch():
 		if loc, ok := s.lineLoc[addr]; ok {
@@ -334,6 +371,12 @@ func (s *System) probe(t *txn, cl int) {
 		kind = msgProbeExcl
 	}
 	m := &Msg{Kind: kind, Txn: t.id, CPU: t.cpu.id, Cluster: cl, Addr: t.addr, ToCluster: true}
+	if t.span != nil {
+		// Every probe departs at the transaction span's current mark (the
+		// issue cycle or a just-marked transition), so a winning chain folds
+		// seamlessly onto the ledger.
+		m.chain = s.spans.GetChain(s.Engine.Now())
+	}
 	if cl == t.cpu.cluster {
 		s.Clusters[cl].serveDirect(m)
 	} else {
@@ -359,6 +402,10 @@ func (s *System) searchStep1(t *txn) {
 
 // searchStep2 multicasts probes to every cluster not yet searched.
 func (s *System) searchStep2(t *txn) {
+	if t.span != nil {
+		// The window since issue was the failed first search round.
+		s.spans.Mark(t.span, obs.CompSearch1, s.Engine.Now())
+	}
 	t.step = 2
 	s.M.Step2Searches.Inc()
 	sent := false
@@ -388,12 +435,18 @@ func (s *System) nack(id uint64) {
 	switch {
 	case t.afterMem:
 		// The post-fetch forward chased a line that moved again.
+		if t.span != nil {
+			s.spans.Mark(t.span, obs.CompRetry, s.Engine.Now())
+		}
 		s.memArrive(t)
 	case s.Cfg.Scheme.PerfectSearch():
 		if loc, ok := s.lineLoc[t.addr]; ok && t.retries < 4 {
 			// The line migrated while the probe was in flight; the perfect
 			// locator re-points us.
 			t.retries++
+			if t.span != nil {
+				s.spans.Mark(t.span, obs.CompRetry, s.Engine.Now())
+			}
 			s.probe(t, loc)
 		} else {
 			s.memFetch(t)
@@ -402,6 +455,9 @@ func (s *System) nack(id uint64) {
 		home := s.Cfg.L2.PlaceOf(t.addr).HomeCluster
 		if s.Cfg.VictimReplication && !t.excl && t.probed&(1<<uint(home)) == 0 {
 			// The local replica check missed; try the home cluster.
+			if t.span != nil {
+				s.spans.Mark(t.span, obs.CompRetry, s.Engine.Now())
+			}
 			s.probe(t, home)
 			return
 		}
@@ -417,10 +473,31 @@ func (s *System) nack(id uint64) {
 func (s *System) data(m *Msg, cycle uint64) {
 	t, ok := s.txns[m.Txn]
 	if !ok {
-		return // duplicate reply from a lazily-migrated copy
+		// Duplicate reply from a lazily-migrated copy (or a replica racing
+		// its home cluster); the losing attempt's ledger is discarded.
+		if m.chain != nil {
+			s.spans.PutChain(m.chain)
+			m.chain = nil
+		}
+		return
 	}
 	delete(s.txns, m.Txn)
 	lat := cycle - t.issued
+	if t.span != nil {
+		if m.chain != nil {
+			// Fold the winning attempt; its reply leg ends right here.
+			s.spans.FoldChain(t.span, m.chain, cycle)
+			s.spans.PutChain(m.chain)
+			m.chain = nil
+		}
+		if t.chain != nil {
+			// A memory-request ledger superseded by a post-fetch forward.
+			s.spans.PutChain(t.chain)
+			t.chain = nil
+		}
+		s.spans.FinishTxn(t.span, lat, m.FromMemory)
+		t.span = nil
+	}
 	if m.FromMemory {
 		s.M.L2Misses.Inc()
 		s.M.MissLatency.Observe(lat)
@@ -463,10 +540,27 @@ func (s *System) classifyHit(t *txn, lat uint64) {
 func (s *System) memFetch(t *txn) {
 	s.M.MemReads.Inc()
 	t.memCtrl = s.nearestMemCtrl(t.cpu.pos)
-	s.send(t.cpu.pos, &Msg{
+	m := &Msg{
 		Kind: msgMemReq, Txn: t.id, CPU: t.cpu.id, Addr: t.addr,
 		ToMem: true, MemCtrl: t.memCtrl,
-	})
+	}
+	if t.span != nil {
+		// Attribute the failed window that led here: a phase-2 round that
+		// came up empty, a NACKed retry, or the first (and only) search
+		// round. The perfect-search baseline has no search phases — its
+		// failed probes are retries by definition.
+		c := obs.CompSearch1
+		switch {
+		case t.step == 2:
+			c = obs.CompSearch2
+		case t.retries > 0 || s.Cfg.Scheme.PerfectSearch():
+			c = obs.CompRetry
+		}
+		now := s.Engine.Now()
+		s.spans.Mark(t.span, c, now)
+		m.chain = s.spans.GetChain(now)
+	}
+	s.send(t.cpu.pos, m)
 }
 
 // nearestMemCtrl picks the controller with the fewest network hops from a
@@ -484,10 +578,22 @@ func (s *System) nearestMemCtrl(from geom.Coord) int {
 
 // memRequestArrived runs at the controller: pay the DRAM latency, then
 // complete the fetch.
-func (s *System) memRequestArrived(m *Msg) {
+func (s *System) memRequestArrived(m *Msg, cycle uint64) {
 	t, ok := s.txns[m.Txn]
 	if !ok {
+		if m.chain != nil {
+			s.spans.PutChain(m.chain)
+			m.chain = nil
+		}
 		return // transaction completed while the request was in flight
+	}
+	if t.span != nil && m.chain != nil {
+		// The request leg ends at the controller; park the ledger on the
+		// transaction so the data reply can reuse its reply leg.
+		s.spans.FoldNet(t.span, &m.chain.Req, cycle)
+		m.chain.Req = obs.PacketSpan{}
+		t.chain = m.chain
+		m.chain = nil
 	}
 	s.Engine.AfterEvent(uint64(s.Cfg.MemoryCycles), s, evMemArrive, t)
 }
@@ -503,6 +609,12 @@ func (s *System) memArrive(t *txn) {
 		return // completed while the fetch was in flight
 	}
 	if loc, ok := s.lineLoc[t.addr]; ok {
+		if t.chain != nil {
+			// The fill is dropped, so the memory attempt's ledger is done;
+			// the forwarded probe opens its own.
+			s.spans.PutChain(t.chain)
+			t.chain = nil
+		}
 		t.afterMem = true
 		s.probe(t, loc)
 		return
@@ -563,6 +675,10 @@ type Results struct {
 	ReplicaInvals uint64
 	FlitHops      uint64
 	BusFlits      uint64
+
+	// Breakdown is the per-component latency decomposition, filled only
+	// when span tracing was attached (see AttachSpans); nil otherwise.
+	Breakdown *obs.BreakdownReport `json:",omitempty"`
 }
 
 // Results reads out the current measurement window.
@@ -601,6 +717,9 @@ func (s *System) Results() Results {
 	}
 	if cycles > 0 {
 		r.IPC = float64(instrs) / float64(cycles*uint64(s.Cfg.NumCPUs))
+	}
+	if s.spans != nil {
+		r.Breakdown = s.spans.Report()
 	}
 	return r
 }

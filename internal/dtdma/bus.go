@@ -245,6 +245,9 @@ func (b *Bus) Tick(cycle uint64) {
 			b.onIdle()
 		}
 		fl.Pkt.Hops++
+		if sp := fl.Pkt.Span; sp != nil && (fl.Type == noc.Head || fl.Type == noc.HeadTail) {
+			sp.AddBus(cycle - fl.Arrived())
+		}
 		if b.probe != nil {
 			b.probe.Emit(obs.Event{
 				Cycle: cycle, Kind: obs.EvBusGrant, X: b.pos.X, Y: b.pos.Y,

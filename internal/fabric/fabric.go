@@ -190,6 +190,11 @@ func (f *Fabric) SetSink(c geom.Coord, fn func(p *noc.Packet, cycle uint64)) {
 		f.Delivered.Inc()
 		f.FlitHops.Add(uint64(p.Hops))
 		f.PktLatency.Observe(cycle - p.InjectedAt)
+		if p.Span != nil {
+			// Close the span ledger: tail serialization and body-flit
+			// stalls make up whatever the head-flit accounting left over.
+			p.Span.Finish(cycle-p.InjectedAt, p.Size)
+		}
 		if f.probe != nil {
 			f.probe.Emit(obs.Event{
 				Cycle: cycle, Kind: obs.EvEject,

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"repro/internal/geom"
+	"repro/internal/obs"
 )
 
 // Network constants from Table 4 and Section 3.2 of the paper.
@@ -94,6 +95,11 @@ type Packet struct {
 
 	// InjectedAt is the cycle the packet entered the source queue.
 	InjectedAt uint64
+
+	// Span, when non-nil, receives the packet's queue/link/bus-wait/
+	// bus-transfer time split as the head flit moves (see obs.PacketSpan).
+	// Nil by default: every charge site is guarded by one pointer check.
+	Span *obs.PacketSpan
 
 	// vertical marks phase 1: the packet has completed its bus ride and now
 	// routes in-plane on the reserved escape VC.

@@ -217,6 +217,9 @@ func (r *Router) inject(cycle uint64) {
 	if !port.CanAccept(r.srcVC) {
 		return
 	}
+	if r.srcSeq == 0 && p.Span != nil {
+		p.Span.AddSourceWait(cycle - p.InjectedAt)
+	}
 	port.Accept(Flit{Type: flitTypeFor(r.srcSeq, p.Size), Pkt: p, Seq: r.srcSeq}, r.srcVC, cycle)
 	r.srcSeq++
 	if r.srcSeq == p.Size {
@@ -308,6 +311,9 @@ func (r *Router) Tick(cycle uint64) {
 		}
 		fl.Pkt.Hops++
 		r.ForwardedFlits++
+		if sp := fl.Pkt.Span; sp != nil && (fl.Type == Head || fl.Type == HeadTail) {
+			sp.AddHop(cycle-fl.arrived, r.pipeline)
+		}
 		if r.probe != nil && (fl.Type == Head || fl.Type == HeadTail) {
 			r.probe.Emit(obs.Event{
 				Cycle: cycle, Kind: obs.EvHop,

@@ -35,6 +35,9 @@ const (
 	// CatCoherence is MSI protocol activity: exclusive upgrades, sharer
 	// invalidations, back-invalidations, fills, and writebacks.
 	CatCoherence
+	// CatSpan is transaction span tracing: one closed interval of an L2
+	// transaction's lifetime attributed to a latency component.
+	CatSpan
 	numCategories
 )
 
@@ -49,6 +52,8 @@ func (c Category) String() string {
 		return "migration"
 	case CatCoherence:
 		return "coherence"
+	case CatSpan:
+		return "span"
 	}
 	return fmt.Sprintf("Category(%d)", uint8(c))
 }
@@ -105,6 +110,11 @@ const (
 	// EvCohWriteback: a dirty line left the L2 for memory. ID=line
 	// address, A=evicting cluster.
 	EvCohWriteback
+
+	// EvSpan: one component interval of a traced L2 transaction, emitted by
+	// the SpanRecorder when a sink is attached. Cycle=interval start,
+	// X=issuing CPU, ID=transaction, A=Component, B=duration in cycles.
+	EvSpan
 	numKinds
 )
 
@@ -127,6 +137,7 @@ var kindInfo = [numKinds]struct {
 	EvCohBackInval: {CatCoherence, "back-inval"},
 	EvCohFill:      {CatCoherence, "fill"},
 	EvCohWriteback: {CatCoherence, "writeback"},
+	EvSpan:         {CatSpan, "span"},
 }
 
 // Category returns the subsystem the kind belongs to.

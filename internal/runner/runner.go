@@ -35,6 +35,13 @@ type Job struct {
 	// series lands in Result.Samples. Zero leaves sampling off, costing
 	// nothing.
 	SampleInterval uint64
+	// RecordSpans attaches a transaction span recorder
+	// (core.System.AttachSpans), so Results.Breakdown carries the
+	// per-component latency decomposition of the measurement window. The
+	// recorder attaches before warm-up and is reset with the statistics,
+	// making the breakdown cover exactly the transactions the measured
+	// latency means do. False leaves span tracing off, costing nothing.
+	RecordSpans bool
 }
 
 // Result pairs a Job with its outcome. Exactly one of Results/Err is
@@ -154,6 +161,11 @@ func runOne(i int, j Job) (res Result) {
 	if err != nil {
 		res.Err = err
 		return res
+	}
+	if j.RecordSpans {
+		// Before warm-up, so transactions in flight across ResetStats carry
+		// spans and the breakdown matches the measured means exactly.
+		sys.AttachSpans()
 	}
 	sys.Warm(j.Seed)
 	sys.Start()

@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"math"
 	"sync"
 	"testing"
 
@@ -186,6 +187,33 @@ func TestPoolSampleInterval(t *testing.T) {
 	}
 	if res[1].Samples != nil {
 		t.Error("unsampled job carries a time series")
+	}
+}
+
+// TestPoolRecordSpans checks the span-recording path: a job with
+// RecordSpans set carries the latency decomposition in its Results, exact
+// against the measured means, while plain jobs stay breakdown-free.
+func TestPoolRecordSpans(t *testing.T) {
+	jobs := testJobs()[:2]
+	jobs[0].RecordSpans = true
+	res := Run(jobs, 2)
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+	}
+	bd := res[0].Results.Breakdown
+	if bd == nil {
+		t.Fatal("RecordSpans job returned no breakdown")
+	}
+	if bd.Hits.Transactions == 0 {
+		t.Fatal("breakdown traced no hits on a live run")
+	}
+	if got, want := bd.Hits.MeanTotal, res[0].Results.AvgL2HitLatency; math.Abs(got-want) > 1e-9 {
+		t.Errorf("breakdown hit mean %f != measured %f", got, want)
+	}
+	if res[1].Results.Breakdown != nil {
+		t.Error("plain job carries a breakdown")
 	}
 }
 

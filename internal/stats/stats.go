@@ -141,21 +141,83 @@ func (h *Histogram) NumBuckets() int { return len(h.buckets) }
 // upper bound is unknown, the observed maximum is reported instead of the
 // fabricated edge n*width — large tail samples are no longer understated.
 func (h *Histogram) Percentile(p float64) uint64 {
-	if h.total == 0 {
+	return PercentileFromBuckets(h.buckets, h.width, h.max, p)
+}
+
+// PercentileFromBuckets is the percentile computation shared by Histogram,
+// the sampler's interval deltas, and the span breakdown: given fixed-width
+// bucket counts (the last bucket open-ended) and the largest sample
+// observed, it returns the smallest bucket upper bound at or below which at
+// least p (0..100) percent of the samples fall, substituting max for the
+// open bucket's unknown edge. Returns 0 when the buckets are empty.
+func PercentileFromBuckets(buckets []uint64, width, max uint64, p float64) uint64 {
+	var total uint64
+	for _, b := range buckets {
+		total += b
+	}
+	if total == 0 {
 		return 0
 	}
-	target := uint64(math.Ceil(float64(h.total) * p / 100))
+	target := uint64(math.Ceil(float64(total) * p / 100))
 	var cum uint64
-	for i, b := range h.buckets {
+	for i, b := range buckets {
 		cum += b
 		if cum >= target {
-			if i == len(h.buckets)-1 {
-				return h.max
+			if i == len(buckets)-1 {
+				return max
 			}
-			return uint64(i+1) * h.width
+			return uint64(i+1) * width
 		}
 	}
-	return h.max
+	return max
+}
+
+// Dist couples a Latency accumulator with a Histogram so a metric can
+// report both moments (mean, min, max) and percentiles from one Observe
+// call. It is the building block of the span recorder's per-component
+// breakdown and anywhere else a "mean + P95" summary is wanted.
+type Dist struct {
+	lat  Latency
+	hist *Histogram
+}
+
+// NewDist returns a distribution with n histogram buckets of the given
+// width.
+func NewDist(n int, width uint64) Dist {
+	return Dist{hist: NewHistogram(n, width)}
+}
+
+// Observe records one sample.
+func (d *Dist) Observe(v uint64) {
+	d.lat.Observe(v)
+	d.hist.Observe(v)
+}
+
+// Count returns the number of samples observed.
+func (d *Dist) Count() uint64 { return d.lat.Count() }
+
+// Sum returns the total of all samples.
+func (d *Dist) Sum() uint64 { return d.lat.Sum() }
+
+// Mean returns the average sample, or 0 with no samples.
+func (d *Dist) Mean() float64 { return d.lat.Mean() }
+
+// Max returns the largest sample observed, or 0 with no samples.
+func (d *Dist) Max() uint64 { return d.lat.Max() }
+
+// Percentile returns the p-th percentile (see Histogram.Percentile).
+func (d *Dist) Percentile(p float64) uint64 { return d.hist.Percentile(p) }
+
+// P95 returns the 95th percentile, the summary used throughout the
+// breakdown tables.
+func (d *Dist) P95() uint64 { return d.hist.Percentile(95) }
+
+// Reset clears all samples. The histogram keeps its shape.
+func (d *Dist) Reset() {
+	d.lat.Reset()
+	clear(d.hist.buckets)
+	d.hist.total = 0
+	d.hist.max = 0
 }
 
 // Set is a named collection of counters, handy for dumping simulator

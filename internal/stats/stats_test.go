@@ -180,6 +180,75 @@ func TestHistogramPanicsOnBadArgs(t *testing.T) {
 	}
 }
 
+// TestPercentileFromBuckets covers the standalone helper on
+// caller-supplied counts (the sampler feeds it interval deltas rather than
+// a live Histogram).
+func TestPercentileFromBuckets(t *testing.T) {
+	// 10 samples in [0,5), 10 in [5,10).
+	buckets := []uint64{10, 10, 0, 0}
+	if got := PercentileFromBuckets(buckets, 5, 9, 50); got != 5 {
+		t.Fatalf("P50 = %d, want 5", got)
+	}
+	if got := PercentileFromBuckets(buckets, 5, 9, 95); got != 10 {
+		t.Fatalf("P95 = %d, want 10", got)
+	}
+	// Empty counts report zero.
+	if got := PercentileFromBuckets([]uint64{0, 0}, 5, 0, 95); got != 0 {
+		t.Fatalf("empty P95 = %d, want 0", got)
+	}
+	// A percentile landing in the open last bucket reports the tracked max.
+	tail := []uint64{1, 0, 0, 9}
+	if got := PercentileFromBuckets(tail, 5, 123, 99); got != 123 {
+		t.Fatalf("open-bucket P99 = %d, want the max 123", got)
+	}
+	// The histogram method and the helper agree on the same counts.
+	h := NewHistogram(4, 10)
+	for v := uint64(0); v < 40; v += 2 {
+		h.Observe(v)
+	}
+	raw := make([]uint64, h.NumBuckets())
+	for i := range raw {
+		raw[i] = h.Bucket(i)
+	}
+	for _, p := range []float64{25, 50, 90, 99} {
+		if a, b := h.Percentile(p), PercentileFromBuckets(raw, 10, h.Max(), p); a != b {
+			t.Fatalf("P%.0f: Histogram %d vs helper %d", p, a, b)
+		}
+	}
+}
+
+func TestDist(t *testing.T) {
+	d := NewDist(8, 4)
+	if d.Count() != 0 || d.Mean() != 0 || d.P95() != 0 {
+		t.Fatal("fresh Dist not zero")
+	}
+	for v := uint64(1); v <= 10; v++ {
+		d.Observe(v)
+	}
+	if d.Count() != 10 || d.Sum() != 55 {
+		t.Fatalf("count/sum = %d/%d, want 10/55", d.Count(), d.Sum())
+	}
+	if d.Mean() != 5.5 {
+		t.Fatalf("mean = %f, want 5.5", d.Mean())
+	}
+	if d.Max() != 10 {
+		t.Fatalf("max = %d, want 10", d.Max())
+	}
+	// P50: 5 of 10 samples lie in [0,4)+[4,8)... the 5th sample (value 5)
+	// falls in bucket [4,8), whose upper edge is 8.
+	if d.Percentile(50) != 8 {
+		t.Fatalf("P50 = %d, want 8", d.Percentile(50))
+	}
+	d.Reset()
+	if d.Count() != 0 || d.Sum() != 0 || d.Mean() != 0 || d.Max() != 0 || d.P95() != 0 {
+		t.Fatalf("Reset left samples: %+v", d)
+	}
+	d.Observe(3)
+	if d.Count() != 1 || d.P95() != 4 {
+		t.Fatalf("post-reset observe: count %d P95 %d", d.Count(), d.P95())
+	}
+}
+
 func TestSet(t *testing.T) {
 	s := NewSet()
 	s.Counter("b").Add(2)

@@ -219,6 +219,28 @@ func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
 	return obs.WriteChromeTrace(w, events)
 }
 
+// TraceMeta is export-level metadata embedded in a written Chrome trace
+// (currently the capture buffer's drop count, marking partial traces).
+type TraceMeta = obs.TraceMeta
+
+// WriteChromeTraceMeta is WriteChromeTrace with trace metadata embedded in
+// the output's otherData section.
+func WriteChromeTraceMeta(w io.Writer, events []TraceEvent, meta TraceMeta) error {
+	return obs.WriteChromeTraceMeta(w, events, meta)
+}
+
+// SpanRecorder accumulates per-transaction latency spans; see AttachSpans.
+type SpanRecorder = obs.SpanRecorder
+
+// LatencyBreakdown is the aggregate per-component L2 latency decomposition
+// of a measurement window, split by hits and misses. It appears in
+// Results.Breakdown when a span recorder is attached and prints with
+// WriteTable.
+type LatencyBreakdown = obs.BreakdownReport
+
+// ComponentStat summarizes one latency component over a transaction class.
+type ComponentStat = obs.ComponentStat
+
 // MetricsSampler takes periodic interval-metrics snapshots; read the
 // accumulated table with Series().
 type MetricsSampler = obs.Sampler
@@ -234,6 +256,20 @@ type MetricsSeries = obs.TimeSeries
 // check per would-be event).
 func (s *Simulation) AttachTracer(sink TraceSink) {
 	s.sys.AttachProbe(obs.NewProbe(sink))
+}
+
+// AttachSpans attaches a transaction span recorder: every L2 transaction
+// issued from now on carries a component ledger tiling its whole lifetime
+// — search rounds, per-hop network queueing vs link traversal, dTDMA
+// pillar arbitration vs transfer, tag and bank service, DRAM — and
+// Results gains the aggregate Breakdown. Attach before the measurement
+// window (ResetStats resets the recorder's aggregates along with the other
+// statistics). Give the recorder a trace sink (SpanRecorder.SetSink) to
+// stream each attributed interval as an EvSpan TraceEvent; WriteChromeTrace
+// renders those as per-CPU Perfetto span tracks. Recording is pooled and
+// keeps idle-cycle skipping engaged; an unattached simulation pays nothing.
+func (s *Simulation) AttachSpans() *SpanRecorder {
+	return s.sys.AttachSpans()
 }
 
 // AttachSampler registers an interval metrics sampler ticking every

@@ -7,10 +7,25 @@
 #   BenchmarkSimulatorThroughput  — whole-system cycles/sec (the headline)
 #   BenchmarkEventQueue/*         — engine event queue: legacy heap vs wheel
 #
-# Usage: scripts/bench.sh            (2s per benchmark)
+# Usage: scripts/bench.sh                          (2s per benchmark)
 #        BENCHTIME=5s scripts/bench.sh
+#        scripts/bench.sh --compare BENCH_1.json   (regression gate)
+#
+# --compare additionally checks the new snapshot's SimulatorThroughput
+# ns/op against the reference snapshot and exits non-zero on a >10%
+# regression — the gate that observability and feature PRs must pass
+# with their instrumentation disabled.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+compare=""
+if [ "${1:-}" = "--compare" ]; then
+	compare="${2:?usage: scripts/bench.sh --compare BENCH_<n>.json}"
+	if [ ! -e "$compare" ]; then
+		echo "bench.sh: reference snapshot $compare not found" >&2
+		exit 2
+	fi
+fi
 
 pattern='BenchmarkSimulatorThroughput$|BenchmarkEventQueue'
 raw=$(mktemp)
@@ -44,3 +59,32 @@ END { printf "\n  }\n}\n" }
 ' "$raw" >"BENCH_${n}.json"
 
 echo "wrote BENCH_${n}.json"
+
+if [ -n "$compare" ]; then
+	# The snapshots are this script's own output, one benchmark per line,
+	# so field extraction by name is reliable.
+	nsop() {
+		awk -F'[:,]' '/"BenchmarkSimulatorThroughput"/ {
+			for (i = 1; i < NF; i++)
+				if ($i ~ /"ns\/op"/) {
+					gsub(/[ }]/, "", $(i + 1)); print $(i + 1); exit
+				}
+		}' "$1"
+	}
+	ref=$(nsop "$compare")
+	new=$(nsop "BENCH_${n}.json")
+	if [ -z "$ref" ] || [ -z "$new" ]; then
+		echo "bench.sh: SimulatorThroughput ns/op missing from snapshot" >&2
+		exit 2
+	fi
+	awk -v new="$new" -v ref="$ref" -v refname="$compare" 'BEGIN {
+		pct = (new - ref) / ref * 100
+		printf "throughput gate: %g ns/op vs %g ns/op in %s (%+.1f%%)\n",
+			new, ref, refname, pct
+		if (new > ref * 1.10) {
+			print "bench.sh: FAIL — throughput regressed more than 10%"
+			exit 1
+		}
+		print "bench.sh: OK — within the 10% regression budget"
+	}'
+fi
