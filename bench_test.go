@@ -493,6 +493,9 @@ func BenchmarkTracingOverhead(b *testing.B) {
 	b.Run("spans", func(b *testing.B) {
 		run(b, func(s *nim.Simulation) { s.AttachSpans() })
 	})
+	b.Run("thermal", func(b *testing.B) {
+		run(b, func(s *nim.Simulation) { s.AttachThermal(1_000) })
+	})
 }
 
 func BenchmarkSimulatorThroughput(b *testing.B) {

@@ -41,6 +41,7 @@ func main() {
 		csvDir   = flag.String("csv", "", "also write each figure's data as CSV into this directory")
 		ablate   = flag.Bool("ablations", false, "run the design-choice ablations")
 		brkdown  = flag.Bool("breakdown", false, "run the L2 latency decomposition across the four schemes")
+		thermRun = flag.Bool("thermal", false, "run the transient thermal study across schemes and CPU placements")
 		table    = flag.Int("table", 0, "reproduce one table (1..5)")
 		figure   = flag.Int("figure", 0, "reproduce one figure (13..18)")
 		all      = flag.Bool("all", false, "reproduce every table and figure")
@@ -88,6 +89,10 @@ func main() {
 	}
 	if *brkdown || *all {
 		breakdowns(names, opt)
+		ran = true
+	}
+	if *thermRun || *all {
+		thermalStudy(opt)
 		ran = true
 	}
 	if *seeds > 1 {
@@ -604,6 +609,57 @@ func breakdowns(names []string, opt nim.Options) {
 		return b.Misses.Components, b.Misses.MeanTotal
 	})
 	fmt.Println("(component sums equal the measured end-to-end means; the 3D schemes' savings\n concentrate in the request/reply link components, per the paper's Section 6)")
+}
+
+// thermalStudy runs the transient thermal pipeline across the four schemes
+// plus a vertically-stacked DNUCA-3D variant, all on mgrid (the highest-
+// traffic benchmark), and tabulates how the placements diverge dynamically:
+// the stacked variant piles CPU heat into vertical columns and runs away
+// from the offset placement even though both dissipate the same energy —
+// the transient counterpart of Table 3's steady-state gap.
+func thermalStudy(opt nim.Options) {
+	header("Thermal: transient peak temperature under activity-driven power (mgrid)")
+	type variant struct {
+		name string
+		cfg  nim.Config
+	}
+	stacked := nim.DefaultConfig(nim.CMPDNUCA3D)
+	stacked.StackCPUs = true
+	variants := []variant{
+		{"cmp-dnuca", nim.DefaultConfig(nim.CMPDNUCA)},
+		{"cmp-dnuca-2d", nim.DefaultConfig(nim.CMPDNUCA2D)},
+		{"cmp-snuca-3d", nim.DefaultConfig(nim.CMPSNUCA3D)},
+		{"cmp-dnuca-3d", nim.DefaultConfig(nim.CMPDNUCA3D)},
+		{"dnuca-3d-stacked", stacked},
+	}
+	jobs := make([]nim.SweepJob, len(variants))
+	for i, v := range variants {
+		j := nim.NewSweepJob(v.cfg, "mgrid", opt)
+		j.ThermalInterval = 1000
+		jobs[i] = j
+	}
+	res := sweep(jobs, opt)
+
+	fmt.Printf("%-18s %8s %10s %9s %9s %8s %8s\n",
+		"", "peak C", "@cycle", "final C", "grad C", ">85C %", "dyn W")
+	csvRows := [][]string{{"variant", "peak_c", "peak_cycle", "final_peak_c", "final_mean_c", "gradient_c", "pct_above_85c", "avg_dyn_power_w"}}
+	for i, v := range variants {
+		t := res[i].Thermal
+		if t == nil {
+			fmt.Printf("%-18s %8s\n", v.name, "n/a")
+			continue
+		}
+		pctAbove := 0.0
+		if t.Cycles > 0 {
+			pctAbove = 100 * float64(t.CyclesAboveThreshold) / float64(t.Cycles)
+		}
+		fmt.Printf("%-18s %8.2f %10d %9.2f %9.2f %8.1f %8.2f\n",
+			v.name, t.PeakC, t.PeakCycle, t.FinalPeakC, t.GradientC, pctAbove, t.AvgPowerW)
+		csvRows = append(csvRows, []string{v.name, f1(t.PeakC), u(t.PeakCycle),
+			f1(t.FinalPeakC), f1(t.FinalMeanC), f1(t.GradientC), f1(pctAbove), f1(t.AvgPowerW)})
+	}
+	writeCSV("thermal_transient", csvRows)
+	fmt.Println("(same workload, same charged energy: the stacked placement's peak runs away\n from the offset placement's — Table 3's steady-state gap, reproduced dynamically)")
 }
 
 func intersect(names, allowed []string) []string {

@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -51,8 +52,11 @@ func main() {
 		traceBuf = flag.Int("tracebuf", 1_000_000, "event-trace ring capacity (oldest events drop beyond it)")
 		spansOut = flag.String("spans", "", "write per-transaction latency spans as Chrome trace-event JSON (per-CPU Perfetto tracks)")
 		brkdown  = flag.Bool("breakdown", false, "print the per-component L2 latency decomposition")
-		metrics  = flag.String("metrics", "", "write interval metrics time series to this file (.json for JSON, CSV otherwise)")
+		metrics  = flag.String("metrics", "", "write interval metrics time series to this file (.trace.json for Perfetto counter tracks, .json for JSON, CSV otherwise)")
 		interval = flag.Uint64("interval", 1_000, "metrics sampling period in cycles")
+		thermal  = flag.Bool("thermal", false, "attach the activity-driven power/thermal pipeline and print the transient report")
+		tmap     = flag.Bool("tmap", false, "print per-layer ASCII temperature maps (implies -thermal)")
+		tinter   = flag.Uint64("tinterval", 1_000, "thermal step period in cycles")
 		pprof    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
@@ -110,6 +114,12 @@ func main() {
 		spanRing = nim.NewTraceRing(*traceBuf)
 		spans.SetSink(spanRing)
 	}
+	// Thermal before the sampler, so each sampler row reads the freshly
+	// stepped temperatures and the window power just flushed.
+	var tracker *nim.ThermalTracker
+	if *thermal || *tmap {
+		tracker = sim.AttachThermal(*tinter)
+	}
 	var sampler *nim.MetricsSampler
 	if *metrics != "" {
 		sampler = sim.AttachSampler(*interval)
@@ -128,7 +138,13 @@ func main() {
 		}
 	}
 	if sampler != nil {
-		if err := writeMetrics(*metrics, sampler.Series()); err != nil {
+		ts := sampler.Series()
+		if ring != nil {
+			// Parity with the Chrome-trace export: mark the series when the
+			// companion event trace is partial.
+			ts.DroppedEvents = ring.Dropped()
+		}
+		if err := writeMetrics(*metrics, ts); err != nil {
 			fatalf("%v", err)
 		}
 	}
@@ -192,6 +208,28 @@ func main() {
 	fmt.Printf("  tags           %12.1f nJ\n", e.TagsPJ/1000)
 	fmt.Printf("  migration      %12.1f nJ\n", e.MigrationPJ/1000)
 	fmt.Printf("  total          %12.1f nJ\n", e.TotalPJ()/1000)
+
+	if tracker != nil && r.Thermal != nil {
+		t := r.Thermal
+		fmt.Printf("\ntransient thermal (%d steps of %d cycles)\n", t.Steps, t.IntervalCycles)
+		fmt.Printf("  peak           %12.2f C at (%d,%d,L%d), cycle %d\n",
+			t.PeakC, t.PeakX, t.PeakY, t.PeakLayer, t.PeakCycle)
+		fmt.Printf("  final          %12.2f C peak, %.2f C mean\n", t.FinalPeakC, t.FinalMeanC)
+		fmt.Printf("  layer gradient %12.2f C\n", t.GradientC)
+		fmt.Printf("  above %.0f C    %12d cycles\n", t.ThresholdC, t.CyclesAboveThreshold)
+		for _, l := range t.Layers {
+			fmt.Printf("  layer %d        %12.2f C peak, %.2f C mean\n", l.Layer, l.PeakC, l.MeanC)
+		}
+		fmt.Printf("  dynamic power  %12.3f W avg (%.1f nJ charged: net %.1f, bus %.1f, tags %.1f, banks %.1f, mig %.1f, cpu %.1f)\n",
+			t.AvgPowerW, t.Energy.TotalPJ/1000, t.Energy.NetworkPJ/1000, t.Energy.BusPJ/1000,
+			t.Energy.TagsPJ/1000, t.Energy.BanksPJ/1000, t.Energy.MigrationPJ/1000, t.Energy.CPUPJ/1000)
+	}
+	if *tmap && tracker != nil {
+		fmt.Println()
+		if err := sim.WriteThermalMap(os.Stdout); err != nil {
+			fatalf("%v", err)
+		}
+	}
 
 	if *brkdown && r.Breakdown != nil {
 		fmt.Printf("\nL2 latency decomposition\n")
@@ -292,15 +330,19 @@ func writeTrace(path string, ring *nim.TraceRing) error {
 	return f.Close()
 }
 
-// writeMetrics dumps the sampled time series: JSON when the filename ends
-// in .json, CSV otherwise.
+// writeMetrics dumps the sampled time series: Perfetto counter tracks when
+// the filename ends in .trace.json, plain JSON when it ends in .json, CSV
+// otherwise.
 func writeMetrics(path string, ts *nim.MetricsSeries) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	werr := ts.WriteCSV
-	if strings.HasSuffix(path, ".json") {
+	switch {
+	case strings.HasSuffix(path, ".trace.json"):
+		werr = func(w io.Writer) error { return nim.WriteCounterTrace(w, ts) }
+	case strings.HasSuffix(path, ".json"):
 		werr = ts.WriteJSON
 	}
 	if err := werr(f); err != nil {

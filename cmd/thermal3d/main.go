@@ -5,8 +5,9 @@
 // Usage:
 //
 //	thermal3d                       # Table 3 reproduction
+//	thermal3d -map                  # Table 3 with per-layer heat maps
 //	thermal3d -layers 2 -stack      # custom configuration
-//	thermal3d -layers 4 -map        # with per-layer heat maps
+//	thermal3d -layers 4 -map        # custom run with heat maps
 package main
 
 import (
@@ -16,7 +17,6 @@ import (
 
 	nim "repro"
 	"repro/internal/config"
-	"repro/internal/geom"
 	"repro/internal/thermal"
 )
 
@@ -26,12 +26,12 @@ func main() {
 		pillars = flag.Int("pillars", 8, "custom run: number of pillars")
 		k       = flag.Int("k", 1, "custom run: Algorithm 1 offset distance")
 		stack   = flag.Bool("stack", false, "custom run: stack CPUs vertically")
-		showMap = flag.Bool("map", false, "custom run: print per-layer heat maps")
+		showMap = flag.Bool("map", false, "print per-layer heat maps")
 	)
 	flag.Parse()
 
 	if *layers == 0 {
-		printTable3()
+		printTable3(*showMap)
 		return
 	}
 
@@ -48,68 +48,56 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	prm := thermal.DefaultParams()
-	grid := thermal.NewGrid(top.Dim, prm)
-	for _, c := range top.CPUs {
-		grid.AddPower(c, prm.CPUPowerW)
-	}
-	iters := grid.Solve(20000, 1e-7)
+	grid, iters, converged := thermal.SimulateGrid(top.Dim, top.CPUs, thermal.DefaultParams())
+	warnIfDiverged("custom configuration", iters, converged)
 	p := grid.Profile()
 	fmt.Printf("chip %dx%dx%d, %d CPUs, %.1f W total (%d solver iterations)\n",
 		top.Dim.Width, top.Dim.Height, top.Dim.Layers, len(top.CPUs), grid.TotalPower(), iters)
 	fmt.Printf("peak %.2f C   avg %.2f C   min %.2f C\n", p.PeakC, p.AvgC, p.MinC)
 
 	if *showMap {
-		printMaps(grid, top)
-	}
-}
-
-func printTable3() {
-	rows, err := nim.ThermalTable3()
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("%-24s %18s %18s %18s\n", "Configuration", "Peak C (paper)", "Avg C (paper)", "Min C (paper)")
-	for _, r := range rows {
-		fmt.Printf("%-24s %8.2f (%7.2f) %8.2f (%7.2f) %8.2f (%7.2f)\n",
-			r.Name, r.Profile.PeakC, r.PaperPeakC, r.Profile.AvgC, r.PaperAvgC, r.Profile.MinC, r.PaperMinC)
-	}
-}
-
-// shades maps normalized temperature to ASCII density.
-var shades = []byte(" .:-=+*#%@")
-
-func printMaps(grid *thermal.Grid, top *config.Topology) {
-	p := grid.Profile()
-	span := p.PeakC - p.MinC
-	if span <= 0 {
-		span = 1
-	}
-	cpuAt := map[geom.Coord]bool{}
-	for _, c := range top.CPUs {
-		cpuAt[c] = true
-	}
-	for l := 0; l < top.Dim.Layers; l++ {
-		fmt.Printf("\nlayer %d (C = CPU):\n", l)
-		for y := 0; y < top.Dim.Height; y++ {
-			for x := 0; x < top.Dim.Width; x++ {
-				c := geom.Coord{X: x, Y: y, Layer: l}
-				if cpuAt[c] {
-					fmt.Print("C")
-					continue
-				}
-				t := grid.Temp(c)
-				idx := int((t - p.MinC) / span * float64(len(shades)-1))
-				if idx < 0 {
-					idx = 0
-				}
-				if idx >= len(shades) {
-					idx = len(shades) - 1
-				}
-				fmt.Print(string(shades[idx]))
-			}
-			fmt.Println()
+		if err := thermal.WriteHeatMap(os.Stdout, grid, top.CPUs); err != nil {
+			fatal(err)
 		}
+	}
+}
+
+// printTable3 reproduces the paper's Table 3 by solving each configuration
+// directly (rather than through nim.ThermalTable3), so the grids stay
+// available for the optional heat-map rendering.
+func printTable3(showMap bool) {
+	rows, cfgs := thermal.Table3Configs()
+	prm := thermal.DefaultParams()
+	fmt.Printf("%-24s %18s %18s %18s %8s\n", "Configuration", "Peak C (paper)", "Avg C (paper)", "Min C (paper)", "Iters")
+	grids := make([]*thermal.Grid, len(cfgs))
+	tops := make([]*config.Topology, len(cfgs))
+	for i, cfg := range cfgs {
+		top, err := config.NewTopology(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		g, iters, converged := thermal.SimulateGrid(top.Dim, top.CPUs, prm)
+		warnIfDiverged(rows[i].Name, iters, converged)
+		p := g.Profile()
+		fmt.Printf("%-24s %8.2f (%7.2f) %8.2f (%7.2f) %8.2f (%7.2f) %8d\n",
+			rows[i].Name, p.PeakC, rows[i].PaperPeakC, p.AvgC, rows[i].PaperAvgC, p.MinC, rows[i].PaperMinC, iters)
+		grids[i], tops[i] = g, top
+	}
+	if showMap {
+		for i := range grids {
+			fmt.Printf("\n== %s ==\n", rows[i].Name)
+			if err := thermal.WriteHeatMap(os.Stdout, grids[i], tops[i].CPUs); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+// warnIfDiverged reports a solver that hit its iteration cap before
+// reaching tolerance; the printed temperatures are then approximate.
+func warnIfDiverged(name string, iters int, converged bool) {
+	if !converged {
+		fmt.Fprintf(os.Stderr, "thermal3d: warning: %s: solver stopped after %d iterations without converging\n", name, iters)
 	}
 }
 

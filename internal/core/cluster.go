@@ -119,6 +119,13 @@ func (cl *Cluster) serveDirect(m *Msg) {
 func (cl *Cluster) serve(m *Msg, direct bool) {
 	s := cl.sys
 	cl.TagLookups++
+	if s.obsProbe != nil {
+		s.obsProbe.Emit(obs.Event{
+			Cycle: s.Engine.Now(), Kind: obs.EvTagProbe,
+			X: cl.center.X, Y: cl.center.Y, Layer: cl.center.Layer,
+			ID: uint64(m.Addr), A: uint64(cl.id),
+		})
+	}
 	p := s.Cfg.L2.PlaceOf(m.Addr)
 	set := cl.set(p)
 	way, ok := set.Lookup(p.Tag)
@@ -142,6 +149,7 @@ func (cl *Cluster) serve(m *Msg, direct bool) {
 			return
 		}
 		bank.Writes++
+		cl.emitBank(obs.EvBankWrite, p.Bank, m.Addr)
 		cl.invalidateSharers(e, m.Addr, m.CPU)
 		s.invalidateReplicas(m.Addr, cl.center, -1)
 		e.Sharers = 1 << uint(m.CPU)
@@ -155,6 +163,7 @@ func (cl *Cluster) serve(m *Msg, direct bool) {
 		}
 	} else {
 		bank.Reads++
+		cl.emitBank(obs.EvBankRead, p.Bank, m.Addr)
 		e.Sharers |= 1 << uint(m.CPU)
 		if e.Replica {
 			s.M.ReplicaHits.Inc()
@@ -253,7 +262,25 @@ func (cl *Cluster) install(addr cache.LineAddr, sharers uint16, dirty bool) {
 	e.Sharers = sharers
 	e.Dirty = dirty
 	cl.banks[p.Bank].Writes++
+	cl.emitBank(obs.EvBankWrite, p.Bank, addr)
 	s.lineLoc[addr] = cl.id
+}
+
+// emitBank reports a bank SRAM access (EvBankRead or EvBankWrite) to the
+// attached probe at the bank's own cell — the energy accountant charges
+// the access where the SRAM physically sits, not at the cluster's tag
+// node. No-op when detached.
+func (cl *Cluster) emitBank(kind obs.Kind, bank int, addr cache.LineAddr) {
+	s := cl.sys
+	if s.obsProbe == nil {
+		return
+	}
+	c := s.Top.BankCoord(cl.id, bank)
+	s.obsProbe.Emit(obs.Event{
+		Cycle: s.Engine.Now(), Kind: kind,
+		X: c.X, Y: c.Y, Layer: c.Layer,
+		ID: uint64(addr), A: uint64(cl.id), B: uint64(bank),
+	})
 }
 
 // evict completes the removal of a victim entry: location map cleanup,

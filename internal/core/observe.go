@@ -2,19 +2,76 @@ package core
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/obs"
+	"repro/internal/power"
 	"repro/internal/stats"
+	"repro/internal/thermal"
 )
 
 // AttachProbe attaches the observability probe to every instrumented
-// layer: the protocol engine (migration and MSI coherence events), the
-// fabric (packet inject/eject), every router (per-hop routing, VC stalls),
-// and every pillar bus (dTDMA arbitration). A nil probe detaches all of
-// them, restoring the zero-overhead path.
+// layer: the protocol engine (migration, MSI coherence, and cache SRAM
+// events), the fabric (packet inject/eject), every router (per-hop
+// routing, VC stalls), and every pillar bus (dTDMA arbitration). A nil
+// probe detaches all of them, restoring the zero-overhead path.
+//
+// AttachProbe is the low-level hook: it installs exactly the given probe.
+// AttachTracer and AttachThermal compose on top of it — prefer those.
 func (s *System) AttachProbe(p *obs.Probe) {
 	s.obsProbe = p
 	s.Fab.SetProbe(p)
+}
+
+// AttachTracer routes probe events into the given sink (nil detaches the
+// tracer). It composes with an attached thermal pipeline: with both
+// active, every event tees into the trace sink and the energy accountant.
+func (s *System) AttachTracer(sink obs.Sink) {
+	s.traceSink = sink
+	s.refreshProbe()
+}
+
+// AttachThermal attaches the activity→power→temperature pipeline: an
+// energy accountant (Table-1-calibrated per-event charging, fed by the
+// same probe events the tracer sees) and a transient RC thermal grid
+// stepped every interval cycles, with each core's instruction delta
+// charged at its cell. Results gains the run-level Thermal report.
+//
+// Attach at the start of the window to track (typically right after
+// ResetStats), and before AttachSampler if the sampler should carry the
+// thermal columns — the tracker must tick (and so flush its window)
+// before the sampler reads the window's values.
+func (s *System) AttachThermal(interval uint64) *obs.ThermalTracker {
+	tt := obs.NewThermalTracker(s.Top.Dim, thermal.DefaultParams(), power.TelemetryModel(), interval)
+	for _, c := range s.CPUs {
+		c := c
+		tt.AddCPU(c.pos, func() uint64 { return c.instrs })
+	}
+	s.thermalT = tt
+	s.refreshProbe()
+	s.Engine.Register(tt)
+	return tt
+}
+
+// WriteThermalMap renders per-layer ASCII temperature maps of the attached
+// thermal tracker's grid, marking CPU cells. It errors when no thermal
+// pipeline is attached.
+func (s *System) WriteThermalMap(w io.Writer) error {
+	if s.thermalT == nil {
+		return fmt.Errorf("core: no thermal pipeline attached (call AttachThermal first)")
+	}
+	return thermal.WriteHeatMap(w, s.thermalT.Grid(), s.Top.CPUs)
+}
+
+// refreshProbe rebuilds the probe from the attached tracer and thermal
+// sinks (either, both teed, or detached).
+func (s *System) refreshProbe() {
+	var sink obs.Sink
+	if s.thermalT != nil {
+		sink = s.thermalT.Sink()
+	}
+	sink = obs.Tee(s.traceSink, sink)
+	s.AttachProbe(obs.NewProbe(sink))
 }
 
 // AttachSpans attaches a transaction span recorder: from now on every L2
@@ -70,6 +127,11 @@ func (s *System) AttachSampler(interval uint64) *obs.Sampler {
 	reg.Register("mem_reads", &s.M.MemReads)
 	reg.Register("mem_writes", &s.M.MemWrites)
 	reg.Register("probes_sent", &s.M.ProbesSent)
+	// Raw traffic totals: flit_hops is a live fabric counter; bus_flits
+	// exists only as a sum over the pillar buses, so it registers as a
+	// derived-counter closure.
+	reg.Register("flit_hops", &s.Fab.FlitHops)
+	reg.RegisterFunc("bus_flits", s.Fab.BusFlits)
 	sm.AddCounterSet(reg)
 
 	// L2 hit latency over the interval: deltas of the cumulative
@@ -130,6 +192,46 @@ func (s *System) AttachSampler(interval uint64) *obs.Sampler {
 			lastBusy = b.BusyCycles
 			return float64(d) / float64(interval)
 		})
+	}
+
+	// Thermal telemetry columns, present only when the pipeline is
+	// attached (AttachThermal must precede AttachSampler so the tracker
+	// ticks — and flushes its window — before the sampler reads it):
+	// per-component window power, per-layer peak/mean temperature, and
+	// the hotspot coordinates.
+	if tt := s.thermalT; tt != nil {
+		comps := []struct {
+			name string
+			c    obs.PowerComponent
+		}{
+			{"p_cpu_w", obs.PowCPU},
+			{"p_net_w", obs.PowNetwork},
+			{"p_bus_w", obs.PowBus},
+			{"p_tag_w", obs.PowTags},
+			{"p_bank_w", obs.PowBanks},
+			{"p_mig_w", obs.PowMigration},
+		}
+		sm.AddGauge("power_w", func(uint64) float64 {
+			w := tt.WindowPowerW()
+			sum := 0.0
+			for _, v := range w {
+				sum += v
+			}
+			return sum
+		})
+		for _, cc := range comps {
+			cc := cc
+			sm.AddGauge(cc.name, func(uint64) float64 { return tt.WindowPowerW()[cc.c] })
+		}
+		for l := 0; l < s.Top.Dim.Layers; l++ {
+			l := l
+			sm.AddGauge(fmt.Sprintf("t_peak_l%d", l), func(uint64) float64 { return tt.LayerProfileNow(l).PeakC })
+			sm.AddGauge(fmt.Sprintf("t_mean_l%d", l), func(uint64) float64 { return tt.LayerProfileNow(l).AvgC })
+		}
+		sm.AddGauge("t_hot_x", func(uint64) float64 { c, _ := tt.Hotspot(); return float64(c.X) })
+		sm.AddGauge("t_hot_y", func(uint64) float64 { c, _ := tt.Hotspot(); return float64(c.Y) })
+		sm.AddGauge("t_hot_layer", func(uint64) float64 { c, _ := tt.Hotspot(); return float64(c.Layer) })
+		sm.AddGauge("t_hot_c", func(uint64) float64 { _, t := tt.Hotspot(); return t })
 	}
 
 	s.Engine.Register(sm)

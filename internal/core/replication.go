@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/cache"
 	"repro/internal/geom"
+	"repro/internal/obs"
 )
 
 // Victim replication (the replication-based management alternative of
@@ -73,6 +74,7 @@ func (cl *Cluster) installReplica(m *Msg) {
 		s.dropReplicaState(old, cl.id, displaced)
 	}
 	cl.banks[p.Bank].Writes++
+	cl.emitBank(obs.EvBankWrite, p.Bank, m.Addr)
 }
 
 // invalidateReplicas sends drop messages to every cluster holding a replica

@@ -112,10 +112,14 @@ type System struct {
 	// replicas of it (victim-replication extension).
 	replicas map[cache.LineAddr]uint16
 
-	// probe, when non-nil, receives migration and MSI coherence events
-	// (the network layers hold their own copy via Fab.SetProbe). Nil by
-	// default; see AttachProbe.
-	obsProbe *obs.Probe
+	// probe, when non-nil, receives migration, MSI coherence, and cache
+	// SRAM events (the network layers hold their own copy via
+	// Fab.SetProbe). Nil by default; see AttachProbe. When both a tracer
+	// and the thermal pipeline are attached, the probe tees into both
+	// sinks (traceSink and thermalT compose through refreshProbe).
+	obsProbe  *obs.Probe
+	traceSink obs.Sink
+	thermalT  *obs.ThermalTracker
 
 	// spans, when non-nil, records per-transaction latency spans; see
 	// AttachSpans. Unlike obsProbe it is not a fabric probe and registers
@@ -679,6 +683,11 @@ type Results struct {
 	// Breakdown is the per-component latency decomposition, filled only
 	// when span tracing was attached (see AttachSpans); nil otherwise.
 	Breakdown *obs.BreakdownReport `json:",omitempty"`
+
+	// Thermal is the run-level activity-driven thermal report, filled
+	// only when the thermal pipeline was attached (see AttachThermal);
+	// nil otherwise.
+	Thermal *obs.ThermalReport `json:",omitempty"`
 }
 
 // Results reads out the current measurement window.
@@ -720,6 +729,9 @@ func (s *System) Results() Results {
 	}
 	if s.spans != nil {
 		r.Breakdown = s.spans.Report()
+	}
+	if s.thermalT != nil {
+		r.Thermal = s.thermalT.Report()
 	}
 	return r
 }

@@ -159,7 +159,11 @@ func (b *Bus) AttachRx(layer int, ep noc.Endpoint) {
 	b.rx[layer] = ep
 }
 
-// SetProbe attaches (or, with nil, detaches) the observability probe.
+// SetProbe attaches (or, with nil, detaches) the observability probe. The
+// bus emits EvSlotGrow/EvSlotShrink on slot-wheel resizing and one
+// EvBusGrant per transferred flit carrying the transceiver pair (A = the
+// transmitting layer, B = the destination layer) — the energy accountant
+// charges half the flit's transfer energy at each end.
 func (b *Bus) SetProbe(p *obs.Probe) { b.probe = p }
 
 // SetBusyHooks installs the edge callbacks invoked when the bus transitions

@@ -156,7 +156,9 @@ func (f *Fabric) SetRouterPipeline(cycles int) {
 // SetProbe attaches the observability probe to the whole interconnect:
 // the fabric itself (packet inject/eject), every router (per-hop routing,
 // VC stalls), and every pillar bus (dTDMA arbitration). A nil probe
-// detaches everything, restoring the zero-overhead path.
+// detaches everything, restoring the zero-overhead path. The same probe
+// feeds both tracing and the energy accountant (core tees them), so these
+// events are also the power model's activity source.
 func (f *Fabric) SetProbe(p *obs.Probe) {
 	f.probe = p
 	for _, r := range f.routers {

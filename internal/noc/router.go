@@ -318,7 +318,7 @@ func (r *Router) Tick(cycle uint64) {
 			r.probe.Emit(obs.Event{
 				Cycle: cycle, Kind: obs.EvHop,
 				X: r.Pos.X, Y: r.Pos.Y, Layer: r.Pos.Layer,
-				ID: fl.Pkt.ID, A: uint64(v.route),
+				ID: fl.Pkt.ID, A: uint64(v.route), B: uint64(fl.Pkt.Size),
 			})
 		}
 		ep.Accept(fl, v.outVC, cycle)

@@ -47,6 +47,10 @@ type TraceMeta struct {
 // chips have far fewer layers than this, so it cannot collide.
 const spanPID = 1 << 10
 
+// counterPID is the synthetic Perfetto "process" holding the sampled
+// counter tracks (WriteCounterTrace).
+const counterPID = 1 << 11
+
 // tidOf packs an in-plane position into a stable thread id. Chip widths
 // are far below 4096, so the packing cannot collide.
 func tidOf(x, y int) int { return x<<12 | y }
@@ -153,4 +157,44 @@ func WriteChromeTraceMeta(w io.Writer, events []Event, meta TraceMeta) error {
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(tr)
+}
+
+// WriteCounterTrace exports a sampled TimeSeries as Perfetto counter
+// tracks: each column (beyond the leading cycle) becomes one "ph":"C"
+// counter whose value steps at every sampling instant, under a synthetic
+// "interval metrics" process. Open alongside an event trace to scrub
+// power, temperature, and rate metrics against individual events. The
+// series' drop count (if any) lands in otherData like the event export's.
+func WriteCounterTrace(w io.Writer, ts *TimeSeries) error {
+	out := make([]traceEvent, 0, len(ts.Rows)*maxInt(len(ts.Header)-1, 0)+1)
+	out = append(out, traceEvent{
+		Name: "process_name", Phase: "M", PID: counterPID,
+		Args: map[string]any{"name": "interval metrics"},
+	})
+	for _, row := range ts.Rows {
+		cycle := uint64(row[0])
+		for i := 1; i < len(row) && i < len(ts.Header); i++ {
+			out = append(out, traceEvent{
+				Name:  ts.Header[i],
+				Cat:   "metrics",
+				Phase: "C",
+				TS:    cycle,
+				PID:   counterPID,
+				Args:  map[string]any{"value": row[i]},
+			})
+		}
+	}
+	tr := chromeTrace{TraceEvents: out, DisplayTimeUnit: "ms"}
+	if ts.DroppedEvents > 0 {
+		tr.OtherData = map[string]any{"dropped_events": ts.DroppedEvents}
+	}
+	return json.NewEncoder(w).Encode(tr)
+}
+
+// maxInt returns the larger of two ints.
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }

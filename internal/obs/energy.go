@@ -1,0 +1,161 @@
+package obs
+
+import "repro/internal/geom"
+
+// EnergyModel is the per-event charging calibration of the energy
+// accountant, in picojoules, plus the clock that converts window energy
+// into power. It is populated by power.TelemetryModel (obs cannot import
+// power — power imports dtdma, which imports obs — so the calibration is
+// passed in by value).
+type EnergyModel struct {
+	// ClockHz converts a window's accumulated picojoules into watts:
+	// W = pJ * 1e-12 * ClockHz / cycles.
+	ClockHz float64
+
+	FlitHopPJ   float64 // per flit crossing a router (charged Size x per head hop)
+	VCStallPJ   float64 // per failed VC allocation
+	BusFlitPJ   float64 // per dTDMA pillar flit (split across the transceiver pair)
+	TagProbePJ  float64 // per tag-array activation
+	BankReadPJ  float64 // per data-bank read
+	BankWritePJ float64 // per data-bank write
+	MigrationPJ float64 // per migration step (origin bank read; the target install charges its own write)
+	InstrPJ     float64 // per committed instruction (fed per window, not per event)
+}
+
+// PowerComponent indexes the energy accountant's per-component breakdown.
+type PowerComponent uint8
+
+// The charged components.
+const (
+	PowNetwork   PowerComponent = iota // router traversals and VC stalls
+	PowBus                             // dTDMA pillar transceivers
+	PowTags                            // cluster tag arrays
+	PowBanks                           // L2 data banks
+	PowMigration                       // migration data movement (origin reads)
+	PowCPU                             // per-instruction core energy
+	NumPowerComponents
+)
+
+// String names the component.
+func (p PowerComponent) String() string {
+	switch p {
+	case PowNetwork:
+		return "network"
+	case PowBus:
+		return "bus"
+	case PowTags:
+		return "tags"
+	case PowBanks:
+		return "banks"
+	case PowMigration:
+		return "migration"
+	case PowCPU:
+		return "cpu"
+	}
+	return "?"
+}
+
+// EnergyAccountant is a Sink that converts probe events into per-cell
+// energy: each event deposits its model cost at the emitting cell,
+// accumulating a windowed power map the thermal tracker flushes every
+// sampling interval. Recording is allocation-free (two slice indexings),
+// so it can ride the same probe as a trace ring via Tee.
+type EnergyAccountant struct {
+	dim   geom.Dim
+	model EnergyModel
+
+	// windowPJ is the current window's per-cell energy (pJ), indexed like
+	// geom.Dim.Index; windowCompPJ and totalCompPJ break the same energy
+	// down by component, for the window and the whole attachment.
+	windowPJ     []float64
+	windowCompPJ [NumPowerComponents]float64
+	totalCompPJ  [NumPowerComponents]float64
+}
+
+// NewEnergyAccountant builds an accountant for a chip of the given
+// dimensions charging with the given model.
+func NewEnergyAccountant(dim geom.Dim, model EnergyModel) *EnergyAccountant {
+	return &EnergyAccountant{
+		dim:      dim,
+		model:    model,
+		windowPJ: make([]float64, dim.Nodes()),
+	}
+}
+
+// Record implements Sink: it charges the event's energy cost to the
+// emitting cell. Events that carry no energy semantics (inject/eject,
+// slot resizing, coherence bookkeeping, spans) are free.
+func (a *EnergyAccountant) Record(e Event) {
+	switch e.Kind {
+	case EvHop:
+		// A head-flit hop stands for the whole packet crossing this
+		// router: B carries the packet size in flits.
+		a.charge(e.X, e.Y, e.Layer, a.model.FlitHopPJ*float64(e.B), PowNetwork)
+	case EvVCStall:
+		a.charge(e.X, e.Y, e.Layer, a.model.VCStallPJ, PowNetwork)
+	case EvBusGrant:
+		// One flit crossed the pillar: half the transfer energy at the
+		// transmitting layer's transceiver (A), half at the destination's (B).
+		half := 0.5 * a.model.BusFlitPJ
+		a.charge(e.X, e.Y, int(e.A), half, PowBus)
+		a.charge(e.X, e.Y, int(e.B), half, PowBus)
+	case EvTagProbe:
+		a.charge(e.X, e.Y, e.Layer, a.model.TagProbePJ, PowTags)
+	case EvBankRead:
+		a.charge(e.X, e.Y, e.Layer, a.model.BankReadPJ, PowBanks)
+	case EvBankWrite:
+		a.charge(e.X, e.Y, e.Layer, a.model.BankWritePJ, PowBanks)
+	case EvMigStep, EvMigPillar:
+		// The origin bank's read; the install at the target charges its
+		// own EvBankWrite.
+		a.charge(e.X, e.Y, e.Layer, a.model.MigrationPJ, PowMigration)
+	}
+}
+
+// charge deposits pj at a cell, silently dropping coordinates outside the
+// chip (defensive: a malformed event must not corrupt the map).
+func (a *EnergyAccountant) charge(x, y, layer int, pj float64, comp PowerComponent) {
+	c := geom.Coord{X: x, Y: y, Layer: layer}
+	if !a.dim.Contains(c) {
+		return
+	}
+	a.windowPJ[a.dim.Index(c)] += pj
+	a.windowCompPJ[comp] += pj
+}
+
+// AddCellEnergy deposits energy directly (the CPU activity feed: the
+// thermal tracker charges each core's per-window instruction delta here).
+func (a *EnergyAccountant) AddCellEnergy(c geom.Coord, pj float64, comp PowerComponent) {
+	a.charge(c.X, c.Y, c.Layer, pj, comp)
+}
+
+// FlushWindow converts the window's accumulated energy into average power
+// over the given cycle span, adding watts into dst (indexed like the cell
+// map; dst must have Dim().Nodes() entries and is NOT zeroed first, so
+// static background power can be pre-filled). It returns the window's
+// per-component power in watts, folds the window into the cumulative
+// totals, and zeroes the window.
+func (a *EnergyAccountant) FlushWindow(cycles uint64, dst []float64) [NumPowerComponents]float64 {
+	var comp [NumPowerComponents]float64
+	if cycles == 0 {
+		return comp
+	}
+	// watts = pJ * 1e-12 / seconds, seconds = cycles / ClockHz.
+	scale := 1e-12 * a.model.ClockHz / float64(cycles)
+	for i, pj := range a.windowPJ {
+		if pj != 0 {
+			dst[i] += pj * scale
+			a.windowPJ[i] = 0
+		}
+	}
+	for i := range a.windowCompPJ {
+		comp[i] = a.windowCompPJ[i] * scale
+		a.totalCompPJ[i] += a.windowCompPJ[i]
+		a.windowCompPJ[i] = 0
+	}
+	return comp
+}
+
+// TotalPJ returns the cumulative per-component energy charged since
+// attachment (flushed windows only).
+func (a *EnergyAccountant) TotalPJ() [NumPowerComponents]float64 { return a.totalCompPJ }

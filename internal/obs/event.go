@@ -16,7 +16,7 @@ package obs
 
 import "fmt"
 
-// Category groups events into the four instrumented subsystems. It maps to
+// Category groups events into the instrumented subsystems. It maps to
 // the "cat" field of the Chrome trace-event format, so a viewer can toggle
 // whole subsystems at once.
 type Category uint8
@@ -35,6 +35,10 @@ const (
 	// CatCoherence is MSI protocol activity: exclusive upgrades, sharer
 	// invalidations, back-invalidations, fills, and writebacks.
 	CatCoherence
+	// CatCache is SRAM array activity at the clusters: tag-array lookups
+	// and per-bank data reads and writes — the charging points of the
+	// energy accountant's bank and tag components.
+	CatCache
 	// CatSpan is transaction span tracing: one closed interval of an L2
 	// transaction's lifetime attributed to a latency component.
 	CatSpan
@@ -52,6 +56,8 @@ func (c Category) String() string {
 		return "migration"
 	case CatCoherence:
 		return "coherence"
+	case CatCache:
+		return "cache"
 	case CatSpan:
 		return "span"
 	}
@@ -68,7 +74,9 @@ const (
 	// ID=packet, A=size in flits.
 	EvInject Kind = iota
 	// EvHop: a head flit won arbitration and crossed a router's crossbar.
-	// ID=packet, A=output direction (geom.Direction).
+	// ID=packet, A=output direction (geom.Direction), B=packet size in
+	// flits (the head-only event stands for the whole packet, so energy
+	// accounting charges all B flit traversals at once).
 	EvHop
 	// EvVCStall: a buffered head flit failed downstream VC allocation this
 	// cycle. ID=packet, A=requested direction.
@@ -111,6 +119,16 @@ const (
 	// address, A=evicting cluster.
 	EvCohWriteback
 
+	// EvTagProbe: one cluster tag-array activation, at the cluster's
+	// controller node. ID=line address, A=cluster.
+	EvTagProbe
+	// EvBankRead: one L2 data-bank read, at the bank's node. ID=line
+	// address, A=cluster, B=bank.
+	EvBankRead
+	// EvBankWrite: one L2 data-bank write (exclusive grant or line
+	// install), at the bank's node. ID=line address, A=cluster, B=bank.
+	EvBankWrite
+
 	// EvSpan: one component interval of a traced L2 transaction, emitted by
 	// the SpanRecorder when a sink is attached. Cycle=interval start,
 	// X=issuing CPU, ID=transaction, A=Component, B=duration in cycles.
@@ -137,6 +155,9 @@ var kindInfo = [numKinds]struct {
 	EvCohBackInval: {CatCoherence, "back-inval"},
 	EvCohFill:      {CatCoherence, "fill"},
 	EvCohWriteback: {CatCoherence, "writeback"},
+	EvTagProbe:     {CatCache, "tag-probe"},
+	EvBankRead:     {CatCache, "bank-read"},
+	EvBankWrite:    {CatCache, "bank-write"},
 	EvSpan:         {CatSpan, "span"},
 }
 
@@ -204,4 +225,25 @@ func (p *Probe) Emit(e Event) {
 		return
 	}
 	p.sink.Record(e)
+}
+
+// Tee composes two sinks: every recorded event is forwarded to both. A nil
+// operand is elided, so Tee(a, nil) is just a — which lets a probe carry a
+// trace ring and an energy accountant simultaneously without either paying
+// for the other when detached.
+func Tee(a, b Sink) Sink {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return teeSink{a, b}
+}
+
+type teeSink struct{ a, b Sink }
+
+func (t teeSink) Record(e Event) {
+	t.a.Record(e)
+	t.b.Record(e)
 }

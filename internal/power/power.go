@@ -6,7 +6,10 @@
 // schemes (network flit-hops, bank accesses, and migrations).
 package power
 
-import "repro/internal/dtdma"
+import (
+	"repro/internal/dtdma"
+	"repro/internal/obs"
+)
 
 // Table 1: area and power of the dTDMA bus components next to a generic
 // 5-port NoC router, synthesized in 90 nm TSMC libraries.
@@ -77,6 +80,11 @@ func PillarAreaOverheadVsRouter(viaPitchUM float64) float64 {
 	return PillarAreaUM2(viaPitchUM) / routerAreaUM2
 }
 
+// ClockHz is the nominal 90 nm operating frequency the Table 1 power
+// numbers are characterized at (500 MHz); it converts per-event energies
+// into window power for the telemetry pipeline.
+const ClockHz = 500e6
+
 // Per-event energies for the dynamic-energy comparison between schemes, in
 // picojoules. Derived from the Table 1 power numbers at the nominal 90 nm
 // clock (500 MHz): energy/cycle = power/frequency, attributed per flit-hop
@@ -88,6 +96,18 @@ const (
 	EnergyPerBankReadPJ  = 430.0 // 64 KB bank read
 	EnergyPerBankWritePJ = 470.0 // 64 KB bank write
 	EnergyPerTagprobePJ  = 52.0  // 24 KB cluster tag array lookup
+
+	// EnergyPerVCStallPJ charges a failed virtual-channel allocation: the
+	// VA stage re-arbitrates while the flit stays buffered, a few percent
+	// of a full router traversal.
+	EnergyPerVCStallPJ = 12.0
+	// EnergyPerInstrPJ is the per-instruction CPU energy implied by the
+	// paper's Niagara-derived 8 W-per-core budget at the nominal clock:
+	// a core at IPC 1 dissipates its full budget, an idle core only the
+	// background (leakage folds into thermal.Params.CellPowerW).
+	EnergyPerInstrPJ = CPUMaxPowerW / ClockHz * 1e12
+	// CPUMaxPowerW is the Section 3.3 per-core power budget.
+	CPUMaxPowerW = 8.0
 )
 
 // DynamicEnergy summarizes the dynamic energy of a measurement window.
@@ -102,6 +122,27 @@ type DynamicEnergy struct {
 // TotalPJ returns the sum of all components.
 func (d DynamicEnergy) TotalPJ() float64 {
 	return d.NetworkPJ + d.BusPJ + d.BanksPJ + d.TagsPJ + d.MigrationPJ
+}
+
+// TelemetryModel returns the Table-1-calibrated per-event charging costs
+// for the activity-driven telemetry pipeline (obs.EnergyAccountant). The
+// constants live here so power stays the single calibration point; obs
+// cannot import power (power imports dtdma, which imports obs), so the
+// model is passed in by value. Migration steps charge the origin bank's
+// read; the target's install charges its own write through the bank-write
+// probe, so unlike Estimate the migration component here is read-only.
+func TelemetryModel() obs.EnergyModel {
+	return obs.EnergyModel{
+		ClockHz:     ClockHz,
+		FlitHopPJ:   EnergyPerFlitHopPJ,
+		VCStallPJ:   EnergyPerVCStallPJ,
+		BusFlitPJ:   EnergyPerBusFlitPJ,
+		TagProbePJ:  EnergyPerTagprobePJ,
+		BankReadPJ:  EnergyPerBankReadPJ,
+		BankWritePJ: EnergyPerBankWritePJ,
+		MigrationPJ: EnergyPerBankReadPJ,
+		InstrPJ:     EnergyPerInstrPJ,
+	}
 }
 
 // Estimate computes the window's dynamic energy from raw event counts.

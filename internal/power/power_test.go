@@ -96,6 +96,40 @@ func TestEnergyEstimate(t *testing.T) {
 	}
 }
 
+func TestTelemetryModelMatchesEstimateConstants(t *testing.T) {
+	// The per-event telemetry calibration and the aggregate Estimate must
+	// charge from the same Table 1 numbers, or the thermal pipeline's
+	// energy breakdown would silently diverge from the printed estimate.
+	m := TelemetryModel()
+	checks := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"ClockHz", m.ClockHz, ClockHz},
+		{"FlitHopPJ", m.FlitHopPJ, EnergyPerFlitHopPJ},
+		{"VCStallPJ", m.VCStallPJ, EnergyPerVCStallPJ},
+		{"BusFlitPJ", m.BusFlitPJ, EnergyPerBusFlitPJ},
+		{"TagProbePJ", m.TagProbePJ, EnergyPerTagprobePJ},
+		{"BankReadPJ", m.BankReadPJ, EnergyPerBankReadPJ},
+		{"BankWritePJ", m.BankWritePJ, EnergyPerBankWritePJ},
+		{"MigrationPJ", m.MigrationPJ, EnergyPerBankReadPJ},
+		{"InstrPJ", m.InstrPJ, EnergyPerInstrPJ},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("TelemetryModel.%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+	// 8 W at 500 MHz is 16 nJ per cycle-instruction.
+	if math.Abs(EnergyPerInstrPJ-16000) > 1e-9 {
+		t.Errorf("EnergyPerInstrPJ = %v, want 16000 (8 W / 500 MHz)", EnergyPerInstrPJ)
+	}
+	if ClockHz != 500e6 {
+		t.Errorf("ClockHz = %v, want 500 MHz", ClockHz)
+	}
+}
+
 func TestMigrationEnergyMonotonic(t *testing.T) {
 	// More migrations strictly cost more energy: the basis of the paper's
 	// claim that 3D's reduced migration count saves L2 power.

@@ -35,6 +35,13 @@ type Job struct {
 	// series lands in Result.Samples. Zero leaves sampling off, costing
 	// nothing.
 	SampleInterval uint64
+	// ThermalInterval, when non-zero, attaches the activity-driven
+	// power/thermal pipeline (core.System.AttachThermal) stepping the
+	// transient RC grid every ThermalInterval cycles of the measurement
+	// window; the run-level report lands in Results.Thermal, and any
+	// attached sampler gains the thermal columns. Zero leaves the pipeline
+	// off, costing nothing.
+	ThermalInterval uint64
 	// RecordSpans attaches a transaction span recorder
 	// (core.System.AttachSpans), so Results.Breakdown carries the
 	// per-component latency decomposition of the measurement window. The
@@ -171,6 +178,12 @@ func runOne(i int, j Job) (res Result) {
 	sys.Start()
 	sys.Run(j.WarmCycles)
 	sys.ResetStats()
+	if j.ThermalInterval > 0 {
+		// Before the sampler: the tracker must tick (flushing its power
+		// window and stepping the grid) before the sampler reads the
+		// thermal columns.
+		sys.AttachThermal(j.ThermalInterval)
+	}
 	var sampler *obs.Sampler
 	if j.SampleInterval > 0 {
 		sampler = sys.AttachSampler(j.SampleInterval)

@@ -221,14 +221,17 @@ func (d *Dist) Reset() {
 }
 
 // Set is a named collection of counters, handy for dumping simulator
-// summaries in a stable order.
+// summaries in a stable order. Entries are either owned/registered
+// Counters or read-only closures (RegisterFunc) for derived counts that
+// exist only as computations.
 type Set struct {
 	counters map[string]*Counter
+	funcs    map[string]func() uint64
 }
 
 // NewSet returns an empty counter set.
 func NewSet() *Set {
-	return &Set{counters: make(map[string]*Counter)}
+	return &Set{counters: make(map[string]*Counter), funcs: make(map[string]func() uint64)}
 }
 
 // Counter returns the counter with the given name, creating it on first use.
@@ -243,9 +246,14 @@ func (s *Set) Counter(name string) *Counter {
 
 // Names returns all counter names in sorted order.
 func (s *Set) Names() []string {
-	names := make([]string, 0, len(s.counters))
+	names := make([]string, 0, len(s.counters)+len(s.funcs))
 	for n := range s.counters {
 		names = append(names, n)
+	}
+	for n := range s.funcs {
+		if _, dup := s.counters[n]; !dup {
+			names = append(names, n)
+		}
 	}
 	sort.Strings(names)
 	return names
@@ -257,10 +265,20 @@ func (s *Set) Names() []string {
 // Registering a name twice replaces the earlier counter.
 func (s *Set) Register(name string, c *Counter) { s.counters[name] = c }
 
+// RegisterFunc installs a derived counter: a closure evaluated at every
+// Value call. It covers counts that exist only as computations — e.g. a
+// total summed over components (fabric bus flits) — so they flow through
+// the same Names/Value snapshot interface the Sampler's per-interval
+// deltas use. A *Counter registered under the same name wins.
+func (s *Set) RegisterFunc(name string, fn func() uint64) { s.funcs[name] = fn }
+
 // Value returns the value of the named counter, or 0 if absent.
 func (s *Set) Value(name string) uint64 {
 	if c, ok := s.counters[name]; ok {
 		return c.Value()
+	}
+	if fn, ok := s.funcs[name]; ok {
+		return fn()
 	}
 	return 0
 }

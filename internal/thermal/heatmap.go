@@ -1,0 +1,57 @@
+package thermal
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/geom"
+)
+
+// heatShades maps normalized temperature to ASCII density, coolest first.
+var heatShades = []byte(" .:-=+*#%@")
+
+// WriteHeatMap renders the grid's current per-layer temperature fields as
+// ASCII heat maps: one character per cell, shaded from the grid's coolest
+// to hottest cell, with cells listed in cpus printed as 'C'. Both
+// cmd/thermal3d (steady-state maps) and nimsim -tmap (end-of-window
+// transient maps) render through this function, so the format is pinned by
+// one golden test.
+func WriteHeatMap(w io.Writer, g *Grid, cpus []geom.Coord) error {
+	p := g.Profile()
+	span := p.PeakC - p.MinC
+	if span <= 0 {
+		span = 1
+	}
+	cpuAt := map[geom.Coord]bool{}
+	for _, c := range cpus {
+		cpuAt[c] = true
+	}
+	d := g.Dim()
+	for l := 0; l < d.Layers; l++ {
+		if _, err := fmt.Fprintf(w, "\nlayer %d (C = CPU):\n", l); err != nil {
+			return err
+		}
+		for y := 0; y < d.Height; y++ {
+			line := make([]byte, d.Width)
+			for x := 0; x < d.Width; x++ {
+				c := geom.Coord{X: x, Y: y, Layer: l}
+				if cpuAt[c] {
+					line[x] = 'C'
+					continue
+				}
+				idx := int((g.Temp(c) - p.MinC) / span * float64(len(heatShades)-1))
+				if idx < 0 {
+					idx = 0
+				}
+				if idx >= len(heatShades) {
+					idx = len(heatShades) - 1
+				}
+				line[x] = heatShades[idx]
+			}
+			if _, err := fmt.Fprintf(w, "%s\n", line); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

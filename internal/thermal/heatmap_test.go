@@ -1,0 +1,56 @@
+package thermal
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestHeatMapGolden pins the ASCII heat-map rendering byte-for-byte: a
+// fixed 2-layer grid with one stacked CPU column and one base-layer CPU,
+// solved to steady state and rendered. Both thermal3d -map and nimsim
+// -tmap draw through WriteHeatMap, so this is the rendering contract for
+// both commands. Regenerate with: go test ./internal/thermal -run HeatMap -update
+func TestHeatMapGolden(t *testing.T) {
+	prm := DefaultParams()
+	g := NewGrid(geom.Dim{Width: 8, Height: 8, Layers: 2}, prm)
+	cpus := []geom.Coord{
+		{X: 2, Y: 2, Layer: 0},
+		{X: 5, Y: 5, Layer: 0},
+		{X: 5, Y: 5, Layer: 1},
+	}
+	for _, c := range cpus {
+		g.AddPower(c, prm.CPUPowerW)
+	}
+	if _, ok := g.Solve(20000, 1e-9); !ok {
+		t.Fatal("solver did not converge")
+	}
+
+	var buf bytes.Buffer
+	if err := WriteHeatMap(&buf, g, cpus); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "heatmap.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("heat map drifted from golden:\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}

@@ -11,13 +11,20 @@ type Table3Row struct {
 	PaperAvgC  float64
 	PaperMinC  float64
 	Profile    Profile
+	// Iters and Converged report the steady-state solver's behavior for
+	// this row (filled by Table3): the Gauss–Seidel iteration count and
+	// whether it reached tolerance before the iteration cap.
+	Iters     int
+	Converged bool
 }
 
-// table3Configs builds the seven configurations of Table 3. The k-offset
+// Table3Configs builds the seven configurations of Table 3. The k-offset
 // rows share four pillars between the eight CPUs (Algorithm 1 with one CPU
 // per pillar per layer), which is what makes the offset distance k
-// meaningful; stacking rows force CPUs into vertical columns.
-func table3Configs() ([]Table3Row, []config.Config) {
+// meaningful; stacking rows force CPUs into vertical columns. The returned
+// rows carry only the paper's reference numbers; Table3 fills the modeled
+// profiles.
+func Table3Configs() ([]Table3Row, []config.Config) {
 	mk := func(layers, pillars, k int, stack bool) config.Config {
 		c := config.Default(config.CMPDNUCA3D)
 		c.Layers = layers
@@ -50,13 +57,16 @@ func table3Configs() ([]Table3Row, []config.Config) {
 // Table3 reproduces the paper's Table 3: the steady-state thermal profile
 // of each CPU placement configuration.
 func Table3(prm Params) ([]Table3Row, error) {
-	rows, cfgs := table3Configs()
+	rows, cfgs := Table3Configs()
 	for i, cfg := range cfgs {
 		top, err := config.NewTopology(cfg)
 		if err != nil {
 			return nil, err
 		}
-		rows[i].Profile = Simulate(top.Dim, top.CPUs, prm)
+		g, iters, converged := SimulateGrid(top.Dim, top.CPUs, prm)
+		rows[i].Profile = g.Profile()
+		rows[i].Iters = iters
+		rows[i].Converged = converged
 	}
 	return rows, nil
 }

@@ -40,6 +40,20 @@ type Params struct {
 	GLatThin float64
 	// GVert is the conductance between vertically adjacent cells (W/K).
 	GVert float64
+
+	// HeatCapacity is the per-cell heat capacitance (J/K) of base-layer
+	// (layer 0) cells, used only by the transient Step; the steady state
+	// Solve converges to is independent of it. The default is calibrated
+	// for observability rather than the physical bulk-silicon value: it
+	// sets the sink time constant tau = HeatCapacity/GSink to ~100 us
+	// (~50k cycles at the nominal 500 MHz clock), so placement effects
+	// express within a simulator measurement window — the same
+	// time-compression idea as the compressed cache warm-up.
+	HeatCapacity float64
+	// HeatCapacityThin is the per-cell heat capacitance (J/K) of thinned
+	// upper layers, which lose most of their substrate mass at bonding
+	// (Section 2.3) and so heat up faster than the base layer.
+	HeatCapacityThin float64
 }
 
 // DefaultParams returns the calibrated constants (see the package comment).
@@ -52,6 +66,9 @@ func DefaultParams() Params {
 		GLat:       0.030,
 		GLatThin:   0.012,
 		GVert:      0.18,
+
+		HeatCapacity:     3.5e-6, // tau_sink = C/GSink ~ 102 us
+		HeatCapacityThin: 4.4e-7, // thinned wafer: ~1/8 of the base mass
 	}
 }
 
@@ -61,6 +78,12 @@ type Grid struct {
 	prm   Params
 	power []float64
 	temp  []float64
+
+	// Transient-step state (see Step): the Jacobi scratch buffer and the
+	// cached explicit-Euler stability limit, both built lazily on the
+	// first Step so steady-state-only users pay nothing.
+	next  []float64
+	maxDt float64
 }
 
 // NewGrid builds a grid with every cell at background power and ambient
@@ -94,9 +117,10 @@ func (g *Grid) TotalPower() float64 {
 }
 
 // Solve runs Gauss–Seidel iterations until the largest per-cell update
-// falls below tol (kelvin) or maxIter is reached, returning the iteration
-// count used.
-func (g *Grid) Solve(maxIter int, tol float64) int {
+// falls below tol (kelvin) or maxIter is reached. It returns the iteration
+// count used and whether the tolerance was actually reached (false means
+// the caller got the maxIter-th iterate, not a converged solution).
+func (g *Grid) Solve(maxIter int, tol float64) (int, bool) {
 	d := g.dim
 	for iter := 1; iter <= maxIter; iter++ {
 		maxDelta := 0.0
@@ -133,14 +157,21 @@ func (g *Grid) Solve(maxIter int, tol float64) int {
 			g.temp[i] = t
 		}
 		if maxDelta < tol {
-			return iter
+			return iter, true
 		}
 	}
-	return maxIter
+	return maxIter, false
 }
 
 // Temp returns the solved temperature of a cell.
 func (g *Grid) Temp(c geom.Coord) float64 { return g.temp[g.dim.Index(c)] }
+
+// Dim returns the grid's dimensions.
+func (g *Grid) Dim() geom.Dim { return g.dim }
+
+// Temps returns the per-cell temperatures, indexed like geom.Dim.Index.
+// The slice aliases the grid's state; treat it as read-only.
+func (g *Grid) Temps() []float64 { return g.temp }
 
 // Profile is one row of Table 3.
 type Profile struct {
@@ -166,13 +197,53 @@ func (g *Grid) Profile() Profile {
 	return p
 }
 
-// Simulate builds the grid for a chip with the given dimensions and CPU
-// placement, solves it, and returns the thermal profile.
-func Simulate(dim geom.Dim, cpus []geom.Coord, prm Params) Profile {
+// LayerProfile extracts the peak, average and minimum cell temperatures of
+// one device layer.
+func (g *Grid) LayerProfile(layer int) Profile {
+	d := g.dim
+	base := layer * d.Width * d.Height
+	n := d.Width * d.Height
+	p := Profile{PeakC: g.temp[base], MinC: g.temp[base]}
+	sum := 0.0
+	for _, t := range g.temp[base : base+n] {
+		if t > p.PeakC {
+			p.PeakC = t
+		}
+		if t < p.MinC {
+			p.MinC = t
+		}
+		sum += t
+	}
+	p.AvgC = sum / float64(n)
+	return p
+}
+
+// PeakCell returns the hottest cell and its temperature.
+func (g *Grid) PeakCell() (geom.Coord, float64) {
+	hot, max := 0, g.temp[0]
+	for i, t := range g.temp {
+		if t > max {
+			hot, max = i, t
+		}
+	}
+	return g.dim.CoordOf(hot), max
+}
+
+// SimulateGrid builds the grid for a chip with the given dimensions and
+// CPU placement and solves it to steady state, returning the grid along
+// with the solver's iteration count and convergence flag.
+func SimulateGrid(dim geom.Dim, cpus []geom.Coord, prm Params) (*Grid, int, bool) {
 	g := NewGrid(dim, prm)
 	for _, c := range cpus {
 		g.AddPower(c, prm.CPUPowerW)
 	}
-	g.Solve(20000, 1e-7)
+	iters, converged := g.Solve(20000, 1e-7)
+	return g, iters, converged
+}
+
+// Simulate builds the grid for a chip with the given dimensions and CPU
+// placement, solves it, and returns the thermal profile.
+func Simulate(dim geom.Dim, cpus []geom.Coord, prm Params) Profile {
+	g, _, _ := SimulateGrid(dim, cpus, prm)
 	return g.Profile()
 }

@@ -1,0 +1,124 @@
+package thermal
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Transient RC thermal model. Each cell is an RC node: its heat capacitance
+// C integrates the imbalance between the power dissipated in the cell and
+// the heat conducted away through the same conductance network the
+// steady-state Solve uses —
+//
+//	C_i dT_i/dt = P_i + sum_j G_ij (T_j - T_i) - [layer 0] GSink (T_i - Tamb)
+//
+// The fixed point of this ODE (dT/dt = 0) is exactly Solve's Gauss–Seidel
+// equation, so stepping to quiescence reproduces the steady-state solution
+// — TestStepConvergesToSolve pins this on every Table 3 configuration.
+
+// capOf returns the effective heat capacitance of a layer, falling back to
+// the calibrated defaults when the Params were built without transient
+// constants (pre-existing callers construct Params literally).
+func (g *Grid) capOf(layer int) float64 {
+	c := g.prm.HeatCapacity
+	if layer > 0 {
+		if t := g.prm.HeatCapacityThin; t > 0 {
+			return t
+		}
+		return DefaultParams().HeatCapacityThin
+	}
+	if c > 0 {
+		return c
+	}
+	return DefaultParams().HeatCapacity
+}
+
+// stableDt computes the explicit-Euler stability limit: half the smallest
+// per-cell time constant C_i / (sum of conductances at cell i).
+func (g *Grid) stableDt() float64 {
+	d := g.dim
+	min := math.Inf(1)
+	for i := range g.temp {
+		c := d.CoordOf(i)
+		den := 0.0
+		if c.Layer == 0 {
+			den += g.prm.GSink
+		}
+		glat := g.prm.GLat
+		if c.Layer > 0 {
+			glat = g.prm.GLatThin
+		}
+		for _, dir := range []geom.Direction{geom.North, geom.South, geom.East, geom.West} {
+			if d.Contains(geom.Step(c, dir)) {
+				den += glat
+			}
+		}
+		for _, dl := range []int{-1, 1} {
+			if d.Contains(geom.Coord{X: c.X, Y: c.Y, Layer: c.Layer + dl}) {
+				den += g.prm.GVert
+			}
+		}
+		if den <= 0 {
+			continue // isolated cell: any dt is stable for it
+		}
+		if tau := g.capOf(c.Layer) / den; tau < min {
+			min = tau
+		}
+	}
+	if math.IsInf(min, 1) {
+		return 1 // single isolated cell; dt is irrelevant
+	}
+	return 0.5 * min
+}
+
+// Step advances the transient model by dt seconds under the given per-cell
+// power map (watts, indexed like geom.Dim.Index; nil uses the grid's own
+// static power). It sub-steps internally at the explicit-Euler stability
+// limit, so any dt is safe; after the first call it allocates nothing.
+func (g *Grid) Step(dt float64, powerW []float64) {
+	if dt <= 0 {
+		return
+	}
+	if powerW == nil {
+		powerW = g.power
+	}
+	if g.next == nil {
+		g.next = make([]float64, len(g.temp))
+		g.maxDt = g.stableDt()
+	}
+	steps := 1
+	if dt > g.maxDt {
+		steps = int(math.Ceil(dt / g.maxDt))
+	}
+	h := dt / float64(steps)
+	d := g.dim
+	for s := 0; s < steps; s++ {
+		for i := range g.temp {
+			c := d.CoordOf(i)
+			t := g.temp[i]
+			flux := powerW[i]
+			if c.Layer == 0 {
+				flux -= g.prm.GSink * (t - g.prm.AmbientC)
+			}
+			glat := g.prm.GLat
+			if c.Layer > 0 {
+				glat = g.prm.GLatThin
+			}
+			for _, dir := range []geom.Direction{geom.North, geom.South, geom.East, geom.West} {
+				n := geom.Step(c, dir)
+				if d.Contains(n) {
+					flux += glat * (g.temp[d.Index(n)] - t)
+				}
+			}
+			for _, dl := range []int{-1, 1} {
+				n := geom.Coord{X: c.X, Y: c.Y, Layer: c.Layer + dl}
+				if d.Contains(n) {
+					flux += g.prm.GVert * (g.temp[d.Index(n)] - t)
+				}
+			}
+			g.next[i] = t + h*flux/g.capOf(c.Layer)
+		}
+		g.temp, g.next = g.next, g.temp
+	}
+}

@@ -1,0 +1,127 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/geom"
+)
+
+// TestStepConvergesToSolve is the transient model's calibration anchor:
+// stepping the RC network to quiescence under constant power must land on
+// the same per-cell temperatures as the steady-state Gauss–Seidel Solve,
+// for every configuration of the paper's Table 3. The two share a fixed
+// point by construction (dT/dt = 0 is exactly Solve's balance equation);
+// this pins that the discretization and sub-stepping preserve it.
+func TestStepConvergesToSolve(t *testing.T) {
+	prm := DefaultParams()
+	rows, cfgs := Table3Configs()
+	for i, cfg := range cfgs {
+		top, err := config.NewTopology(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", rows[i].Name, err)
+		}
+		ref, _, converged := SimulateGrid(top.Dim, top.CPUs, prm)
+		if !converged {
+			t.Fatalf("%s: steady-state solver did not converge", rows[i].Name)
+		}
+
+		g := NewGrid(top.Dim, prm)
+		for _, c := range top.CPUs {
+			g.AddPower(c, prm.CPUPowerW)
+		}
+		// Step in chunks of ~ the sink time constant until quiescent.
+		dt := prm.HeatCapacity / prm.GSink
+		var prevPeak float64
+		settled := false
+		for step := 0; step < 4000; step++ {
+			g.Step(dt, nil)
+			peak := g.Profile().PeakC
+			if step > 0 && math.Abs(peak-prevPeak) < 1e-10 {
+				settled = true
+				break
+			}
+			prevPeak = peak
+		}
+		if !settled {
+			t.Fatalf("%s: transient did not settle", rows[i].Name)
+		}
+
+		worst := 0.0
+		for j, tc := range g.Temps() {
+			if d := math.Abs(tc - ref.Temps()[j]); d > worst {
+				worst = d
+			}
+		}
+		if worst > 0.05 {
+			t.Errorf("%s: transient steady state deviates from Solve by %.4f C", rows[i].Name, worst)
+		}
+	}
+}
+
+// TestStepEnergyDirection checks the basic transient physics: starting at
+// ambient, temperatures rise monotonically toward the steady state and a
+// shorter exposure stays cooler than a longer one.
+func TestStepEnergyDirection(t *testing.T) {
+	prm := DefaultParams()
+	dim := geom.Dim{Width: 4, Height: 4, Layers: 2}
+	g := NewGrid(dim, prm)
+	g.AddPower(geom.Coord{X: 1, Y: 1, Layer: 1}, 4)
+
+	g.Step(1e-5, nil)
+	early := g.Profile().PeakC
+	if early <= prm.AmbientC {
+		t.Fatalf("peak %.3f C did not rise above ambient %.1f C", early, prm.AmbientC)
+	}
+	g.Step(1e-3, nil)
+	late := g.Profile().PeakC
+	if late <= early {
+		t.Fatalf("peak fell from %.3f to %.3f C under constant power", early, late)
+	}
+
+	ref := NewGrid(dim, prm)
+	ref.AddPower(geom.Coord{X: 1, Y: 1, Layer: 1}, 4)
+	if _, ok := ref.Solve(20000, 1e-9); !ok {
+		t.Fatal("reference solve did not converge")
+	}
+	if late > ref.Profile().PeakC+1e-6 {
+		t.Fatalf("transient peak %.3f C overshot steady state %.3f C", late, ref.Profile().PeakC)
+	}
+}
+
+// TestStepSubstepInvariance: one long Step must land where many short
+// Steps of the same total duration land (the sub-stepping is internal, so
+// callers' choice of dt granularity cannot change the trajectory beyond
+// integration error).
+func TestStepSubstepInvariance(t *testing.T) {
+	prm := DefaultParams()
+	dim := geom.Dim{Width: 4, Height: 4, Layers: 2}
+	mk := func() *Grid {
+		g := NewGrid(dim, prm)
+		g.AddPower(geom.Coord{X: 2, Y: 2, Layer: 1}, 8)
+		return g
+	}
+	a, b := mk(), mk()
+	a.Step(2e-4, nil)
+	for i := 0; i < 20; i++ {
+		b.Step(1e-5, nil)
+	}
+	for i := range a.Temps() {
+		if d := math.Abs(a.Temps()[i] - b.Temps()[i]); d > 5e-3 {
+			t.Fatalf("cell %d: one 200us step %.6f C vs 20x10us steps %.6f C", i, a.Temps()[i], b.Temps()[i])
+		}
+	}
+}
+
+// TestStepZeroAlloc pins the telemetry hot path: after the first call,
+// Step allocates nothing.
+func TestStepZeroAlloc(t *testing.T) {
+	prm := DefaultParams()
+	g := NewGrid(geom.Dim{Width: 8, Height: 8, Layers: 2}, prm)
+	g.Step(1e-6, nil) // builds the scratch buffer
+	allocs := testing.AllocsPerRun(100, func() { g.Step(2e-6, nil) })
+	if allocs > 0 {
+		t.Fatalf("Step allocates %.1f times per call in steady state", allocs)
+	}
+}

@@ -250,12 +250,49 @@ type MetricsSeries = obs.TimeSeries
 
 // AttachTracer attaches a trace sink to every instrumented layer of the
 // machine: packet inject/hop/VC-stall/eject, dTDMA slot-wheel resizing and
-// bus grants, migration steps, and MSI coherence transitions all flow into
-// the sink as cycle-stamped TraceEvents. A nil sink detaches tracing and
-// restores the zero-overhead path (an unattached simulation pays one nil
-// check per would-be event).
+// bus grants, migration steps, cache SRAM accesses, and MSI coherence
+// transitions all flow into the sink as cycle-stamped TraceEvents. A nil
+// sink detaches tracing and restores the zero-overhead path (an unattached
+// simulation pays one nil check per would-be event). Tracing composes with
+// an attached thermal pipeline: each event tees to both.
 func (s *Simulation) AttachTracer(sink TraceSink) {
-	s.sys.AttachProbe(obs.NewProbe(sink))
+	s.sys.AttachTracer(sink)
+}
+
+// ThermalTracker is the activity-driven power/thermal pipeline; see
+// AttachThermal.
+type ThermalTracker = obs.ThermalTracker
+
+// ThermalReport is the run-level transient-thermal summary appearing in
+// Results.Thermal when a thermal tracker is attached: peak temperature and
+// where/when it occurred, time above threshold, per-layer profile, the
+// inter-layer gradient, and the Table-1 energy breakdown by component.
+type ThermalReport = obs.ThermalReport
+
+// AttachThermal attaches the activity-driven power and transient thermal
+// pipeline: probe events are charged with Table 1 energies into a per-cell
+// window, and every interval cycles the window's power map drives one
+// transient RC step of the 3D thermal grid (whose steady-state limit is
+// the Table 3 solver). Attach at the start of the window to track —
+// typically right after ResetStats — and before AttachSampler if the
+// sampler should carry the thermal columns. Results gains the run-level
+// ThermalReport.
+func (s *Simulation) AttachThermal(interval uint64) *ThermalTracker {
+	return s.sys.AttachThermal(interval)
+}
+
+// WriteCounterTrace exports a sampled metrics series as Perfetto counter
+// tracks ("ph":"C"), so power, temperature, and rate metrics can be
+// scrubbed against an event trace in the same UI.
+func WriteCounterTrace(w io.Writer, ts *MetricsSeries) error {
+	return obs.WriteCounterTrace(w, ts)
+}
+
+// WriteThermalMap renders per-layer ASCII temperature maps of the attached
+// thermal tracker's grid, with CPU cells marked. It errors when
+// AttachThermal was never called.
+func (s *Simulation) WriteThermalMap(w io.Writer) error {
+	return s.sys.WriteThermalMap(w)
 }
 
 // AttachSpans attaches a transaction span recorder: every L2 transaction

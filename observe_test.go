@@ -244,6 +244,122 @@ func TestWriteBusReportContent(t *testing.T) {
 	}
 }
 
+func TestAttachThermalEndToEnd(t *testing.T) {
+	sim := observedSim(t)
+	tracker := sim.AttachThermal(1_000)
+	sampler := sim.AttachSampler(1_000)
+	sim.Run(30_000)
+	r := sim.Results()
+
+	if r.Thermal == nil {
+		t.Fatal("Results.Thermal nil with a tracker attached")
+	}
+	th := r.Thermal
+	if th.Steps < 25 {
+		t.Fatalf("tracker integrated %d windows over 30k cycles at interval 1k, want ~29", th.Steps)
+	}
+	// The grid warm-starts at the static steady state (~47 C peak with
+	// background power only); activity can only heat it from there, and no
+	// plausible window melts the chip.
+	if th.PeakC < 45 || th.PeakC > 250 {
+		t.Fatalf("peak %v C implausible", th.PeakC)
+	}
+	if th.FinalPeakC > th.PeakC {
+		t.Fatalf("final peak %v exceeds running peak %v", th.FinalPeakC, th.PeakC)
+	}
+	if th.Energy.TotalPJ <= 0 || th.AvgPowerW <= 0 {
+		t.Fatal("no energy charged over a live mgrid window")
+	}
+	if th.Energy.NetworkPJ <= 0 || th.Energy.BanksPJ <= 0 || th.Energy.TagsPJ <= 0 || th.Energy.CPUPJ <= 0 {
+		t.Fatalf("energy breakdown has empty components: %+v", th.Energy)
+	}
+	cfg := nim.DefaultConfig(nim.CMPDNUCA3D)
+	if len(th.Layers) != cfg.Layers {
+		t.Fatalf("report covers %d layers, chip has %d", len(th.Layers), cfg.Layers)
+	}
+	if th.PeakLayer < 0 || th.PeakLayer >= cfg.Layers {
+		t.Fatalf("peak layer %d out of range", th.PeakLayer)
+	}
+
+	// The sampler, attached after the tracker, must carry the thermal
+	// columns with live values.
+	ts := sampler.Series()
+	for _, want := range []string{"power_w", "p_cpu_w", "p_net_w", "t_peak_l0", "t_mean_l1", "t_hot_c", "flit_hops", "bus_flits"} {
+		if !slicesContains(ts.Header, want) {
+			t.Errorf("sampler header %v missing thermal column %q", ts.Header, want)
+		}
+	}
+	pw := columnIndex(ts.Header, "power_w")
+	tp := columnIndex(ts.Header, "t_peak_l0")
+	var anyPower bool
+	for _, row := range ts.Rows {
+		if row[pw] > 0 {
+			anyPower = true
+		}
+		if row[tp] < 40 || row[tp] > 250 {
+			t.Fatalf("sampled t_peak_l0 = %v C implausible", row[tp])
+		}
+	}
+	if !anyPower {
+		t.Fatal("sampled power_w never positive over a live window")
+	}
+
+	// The temperature map renders every layer and marks the CPUs.
+	var buf bytes.Buffer
+	if err := sim.WriteThermalMap(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for l := 0; l < cfg.Layers; l++ {
+		if !strings.Contains(out, "layer "+strconv.Itoa(l)) {
+			t.Errorf("thermal map missing layer %d", l)
+		}
+	}
+	if strings.Count(out, "C") < cfg.NumCPUs {
+		t.Errorf("thermal map marks %d CPU cells, want >= %d", strings.Count(out, "C"), cfg.NumCPUs)
+	}
+	_ = tracker
+}
+
+// TestThermalMapRequiresTracker pins the error path: rendering without an
+// attached pipeline must fail rather than print an empty map.
+func TestThermalMapRequiresTracker(t *testing.T) {
+	sim := observedSim(t)
+	if err := sim.WriteThermalMap(&bytes.Buffer{}); err == nil {
+		t.Fatal("WriteThermalMap succeeded with no thermal pipeline attached")
+	}
+}
+
+// TestThermalDoesNotPerturb is the telemetry contract: attaching the
+// power/thermal pipeline observes the machine without changing it, so every
+// architectural result is bit-identical to an unobserved run.
+func TestThermalDoesNotPerturb(t *testing.T) {
+	run := func(attach bool) nim.Results {
+		cfg := nim.DefaultConfig(nim.CMPDNUCA3D)
+		bench, _ := nim.BenchmarkByName("mgrid", cfg.NumCPUs)
+		sim, err := nim.NewSimulation(cfg, bench, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.Warm()
+		sim.Start()
+		sim.Run(5_000)
+		sim.ResetStats()
+		if attach {
+			sim.AttachThermal(1_000)
+		}
+		sim.Run(20_000)
+		return sim.Results()
+	}
+	plain, observed := run(false), run(true)
+	observed.Thermal = nil // the report itself is the only allowed difference
+	pj, _ := json.Marshal(plain)
+	oj, _ := json.Marshal(observed)
+	if !bytes.Equal(pj, oj) {
+		t.Fatalf("thermal attachment changed results:\nplain    %s\nobserved %s", pj, oj)
+	}
+}
+
 func slicesContains(ss []string, want string) bool {
 	for _, s := range ss {
 		if s == want {

@@ -10,6 +10,7 @@
 # Usage: scripts/bench.sh                          (2s per benchmark)
 #        BENCHTIME=5s scripts/bench.sh
 #        scripts/bench.sh --compare BENCH_1.json   (regression gate)
+#        scripts/bench.sh --compare                (gate vs latest BENCH_<n>.json)
 #
 # --compare additionally checks the new snapshot's SimulatorThroughput
 # ns/op against the reference snapshot and exits non-zero on a >10%
@@ -20,7 +21,22 @@ cd "$(dirname "$0")/.."
 
 compare=""
 if [ "${1:-}" = "--compare" ]; then
-	compare="${2:?usage: scripts/bench.sh --compare BENCH_<n>.json}"
+	if [ -n "${2:-}" ]; then
+		compare="$2"
+	else
+		# No reference given: default to the latest committed snapshot
+		# (highest n), so "bench.sh --compare" gates against HEAD's numbers.
+		m=1
+		while [ -e "BENCH_${m}.json" ]; do
+			compare="BENCH_${m}.json"
+			m=$((m + 1))
+		done
+		if [ -z "$compare" ]; then
+			echo "bench.sh: no BENCH_<n>.json snapshot to compare against" >&2
+			exit 2
+		fi
+		echo "bench.sh: comparing against latest snapshot $compare"
+	fi
 	if [ ! -e "$compare" ]; then
 		echo "bench.sh: reference snapshot $compare not found" >&2
 		exit 2
