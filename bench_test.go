@@ -525,3 +525,36 @@ func BenchmarkThermalSolver(b *testing.B) {
 		thermal.Simulate(top.Dim, top.CPUs, prm)
 	}
 }
+
+// BenchmarkDTMOverhead quantifies the management loop's cost on the
+// stacked (hottest) machine. The "detached" case is the default
+// configuration — no controller, every actuator hook a nil check — and
+// must stay within the simulator-throughput regression gate. "disabled"
+// attaches a controller with no policy bits (the loop's fixed cost:
+// hysteresis scan per thermal step); "all" enables every actuator, whose
+// price includes the work the policies cause (stall events, diverted
+// packets), not just the hook overhead.
+func BenchmarkDTMOverhead(b *testing.B) {
+	run := func(b *testing.B, policy string, attach bool) {
+		cfg := nim.DefaultConfig(nim.CMPDNUCA3D)
+		cfg.StackCPUs = true
+		cfg.DTMPolicy = policy
+		bench, _ := nim.BenchmarkByName("mgrid", cfg.NumCPUs)
+		sim, err := nim.NewSimulation(cfg, bench, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim.Warm()
+		sim.Start()
+		if attach {
+			if _, err := sim.AttachDTM(1_000); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		sim.Run(uint64(b.N))
+	}
+	b.Run("detached", func(b *testing.B) { run(b, "", false) })
+	b.Run("disabled", func(b *testing.B) { run(b, "none", true) })
+	b.Run("all", func(b *testing.B) { run(b, "all", true) })
+}

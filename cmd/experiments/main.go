@@ -42,6 +42,7 @@ func main() {
 		ablate   = flag.Bool("ablations", false, "run the design-choice ablations")
 		brkdown  = flag.Bool("breakdown", false, "run the L2 latency decomposition across the four schemes")
 		thermRun = flag.Bool("thermal", false, "run the transient thermal study across schemes and CPU placements")
+		dtmRun   = flag.Bool("dtm", false, "run the dynamic-thermal-management policy matrix on the hot configurations")
 		table    = flag.Int("table", 0, "reproduce one table (1..5)")
 		figure   = flag.Int("figure", 0, "reproduce one figure (13..18)")
 		all      = flag.Bool("all", false, "reproduce every table and figure")
@@ -93,6 +94,10 @@ func main() {
 	}
 	if *thermRun || *all {
 		thermalStudy(opt)
+		ran = true
+	}
+	if *dtmRun || *all {
+		dtmStudy(opt)
 		ran = true
 	}
 	if *seeds > 1 {
@@ -660,6 +665,83 @@ func thermalStudy(opt nim.Options) {
 	}
 	writeCSV("thermal_transient", csvRows)
 	fmt.Println("(same workload, same charged energy: the stacked placement's peak runs away\n from the offset placement's — Table 3's steady-state gap, reproduced dynamically)")
+}
+
+// dtmStudy runs the DTM policy matrix on the two configurations the
+// transient study shows running hottest — CMP-DNUCA-3D and its vertically
+// stacked variant, both on mgrid — and tabulates what each actuator buys
+// and costs: peak temperature (and its delta against the unmanaged run),
+// time above 85 C, and the performance price in average L2 hit latency and
+// IPC, next to the per-actuator engagement counts. Duty-cycling is the
+// policy that moves peak temperature (it sheds the cores' 8 W budgets, the
+// dominant heat source); veto, drowsy, and reroute act on the ~0.06 W/cell
+// background and the traffic pattern, so their thermal effect is small —
+// they are documented as latency/energy levers, not peak-temperature ones.
+func dtmStudy(opt nim.Options) {
+	header("DTM: policy matrix on the hot configurations (mgrid, trip 85 C)")
+	type variant struct {
+		name string
+		cfg  nim.Config
+	}
+	stacked := nim.DefaultConfig(nim.CMPDNUCA3D)
+	stacked.StackCPUs = true
+	variants := []variant{
+		{"cmp-dnuca-3d", nim.DefaultConfig(nim.CMPDNUCA3D)},
+		{"dnuca-3d-stacked", stacked},
+	}
+	policies := []string{"off", "veto", "drowsy", "duty", "reroute", "all"}
+
+	var jobs []nim.SweepJob
+	for _, v := range variants {
+		for _, pol := range policies {
+			cfg := v.cfg
+			if pol != "off" {
+				cfg.DTMPolicy = pol
+			}
+			j := nim.NewSweepJob(cfg, "mgrid", opt)
+			j.ThermalInterval = 1000
+			jobs = append(jobs, j)
+		}
+	}
+	res := sweep(jobs, opt)
+
+	fmt.Printf("%-18s %-8s %8s %8s %8s %9s %7s %8s %8s %8s %8s\n",
+		"", "policy", "peak C", "dPeak", ">85C %", "hit lat", "IPC", "vetoes", "wakeups", "stalls", "diverts")
+	csvRows := [][]string{{"variant", "policy", "peak_c", "delta_peak_c", "pct_above_85c",
+		"avg_hit_lat", "ipc", "migration_vetoes", "bank_wakeups", "throttle_stalls", "pillar_diversions"}}
+	for vi, v := range variants {
+		basePeak := 0.0
+		for pi, pol := range policies {
+			r := res[vi*len(policies)+pi]
+			t := r.Thermal
+			if t == nil {
+				fmt.Printf("%-18s %-8s %8s\n", v.name, pol, "n/a")
+				continue
+			}
+			if pol == "off" {
+				basePeak = t.PeakC
+			}
+			pctAbove := 0.0
+			if t.Cycles > 0 {
+				pctAbove = 100 * float64(t.CyclesAboveThreshold) / float64(t.Cycles)
+			}
+			var vetoes, wakeups, stalls, diverts uint64
+			if d := r.DTM; d != nil {
+				vetoes, wakeups, stalls, diverts = d.MigrationVetoes, d.BankWakeups, d.ThrottleStalls, d.PillarDiversions
+			}
+			name := ""
+			if pi == 0 {
+				name = v.name
+			}
+			fmt.Printf("%-18s %-8s %8.2f %8.2f %8.1f %9.1f %7.3f %8d %8d %8d %8d\n",
+				name, pol, t.PeakC, t.PeakC-basePeak, pctAbove,
+				r.AvgL2HitLatency, r.IPC, vetoes, wakeups, stalls, diverts)
+			csvRows = append(csvRows, []string{v.name, pol, f1(t.PeakC), f1(t.PeakC - basePeak),
+				f1(pctAbove), f1(r.AvgL2HitLatency), f1(r.IPC), u(vetoes), u(wakeups), u(stalls), u(diverts)})
+		}
+	}
+	writeCSV("dtm_matrix", csvRows)
+	fmt.Println("(duty-cycling sheds the cores' 8 W budgets and is the policy that cuts the\n peak; veto/drowsy/reroute buy latency headroom and leakage, not degrees)")
 }
 
 func intersect(names, allowed []string) []string {

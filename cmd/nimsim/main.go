@@ -57,6 +57,9 @@ func main() {
 		thermal  = flag.Bool("thermal", false, "attach the activity-driven power/thermal pipeline and print the transient report")
 		tmap     = flag.Bool("tmap", false, "print per-layer ASCII temperature maps (implies -thermal)")
 		tinter   = flag.Uint64("tinterval", 1_000, "thermal step period in cycles")
+		dtmPol   = flag.String("dtm", "", "dynamic thermal management policy: none, all, or a comma list of veto, drowsy, duty, reroute (implies -thermal)")
+		trip     = flag.Float64("trip", 0, "DTM trip temperature in C (0 = the 85 C default)")
+		duty     = flag.String("duty", "", "DTM duty-cycle pattern N/M: a hot core issues on N of every M slots (default 1/4)")
 		pprof    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
@@ -87,6 +90,9 @@ func main() {
 		}
 	}
 	cfg.StackCPUs = *stack
+	cfg.DTMPolicy = *dtmPol
+	cfg.TripTempC = *trip
+	cfg.DutyCycle = *duty
 
 	sim, err := buildSimulation(cfg, *bench, *mix, *traceIn, *seed)
 	if err != nil {
@@ -117,7 +123,15 @@ func main() {
 	// Thermal before the sampler, so each sampler row reads the freshly
 	// stepped temperatures and the window power just flushed.
 	var tracker *nim.ThermalTracker
-	if *thermal || *tmap {
+	var dtmCtl *nim.DTMController
+	if cfg.DTMActive() {
+		// AttachDTM subsumes the thermal attach: the controller rides the
+		// same tracker tick, adjusting the power window and reading the
+		// freshly stepped grid.
+		if dtmCtl, err = sim.AttachDTM(*tinter); err != nil {
+			fatalf("%v", err)
+		}
+	} else if *thermal || *tmap || *dtmPol != "" {
 		tracker = sim.AttachThermal(*tinter)
 	}
 	var sampler *nim.MetricsSampler
@@ -209,7 +223,7 @@ func main() {
 	fmt.Printf("  migration      %12.1f nJ\n", e.MigrationPJ/1000)
 	fmt.Printf("  total          %12.1f nJ\n", e.TotalPJ()/1000)
 
-	if tracker != nil && r.Thermal != nil {
+	if (tracker != nil || dtmCtl != nil) && r.Thermal != nil {
 		t := r.Thermal
 		fmt.Printf("\ntransient thermal (%d steps of %d cycles)\n", t.Steps, t.IntervalCycles)
 		fmt.Printf("  peak           %12.2f C at (%d,%d,L%d), cycle %d\n",
@@ -224,7 +238,20 @@ func main() {
 			t.AvgPowerW, t.Energy.TotalPJ/1000, t.Energy.NetworkPJ/1000, t.Energy.BusPJ/1000,
 			t.Energy.TagsPJ/1000, t.Energy.BanksPJ/1000, t.Energy.MigrationPJ/1000, t.Energy.CPUPJ/1000)
 	}
-	if *tmap && tracker != nil {
+	if dtmCtl != nil && r.DTM != nil {
+		d := r.DTM
+		fmt.Printf("\ndynamic thermal management (policy %s, trip %.1f C, release %.1f C)\n",
+			d.Policy, d.TripC, d.ReleaseC)
+		fmt.Printf("  trips          %12d engagements (first at cycle %d)\n", d.TripEngagements, d.FirstTripCycle)
+		fmt.Printf("  hot cells      %12d now, %d cell-steps total\n", d.HotCells, d.HotCellSteps)
+		fmt.Printf("  peak           %12.2f C (%+.2f C vs trip)\n", d.PeakC, d.PeakOverTripC)
+		fmt.Printf("  migr vetoes    %12d\n", d.MigrationVetoes)
+		fmt.Printf("  bank wakeups   %12d (%d cycles added, %.1f nJ leakage saved)\n",
+			d.BankWakeups, d.BankWakeupCycles, d.DrowsyLeakSavedPJ/1000)
+		fmt.Printf("  duty stalls    %12d (pattern %d/%d)\n", d.ThrottleStalls, d.DutyOn, d.DutyPeriod)
+		fmt.Printf("  pillar divert  %12d\n", d.PillarDiversions)
+	}
+	if *tmap && (tracker != nil || dtmCtl != nil) {
 		fmt.Println()
 		if err := sim.WriteThermalMap(os.Stdout); err != nil {
 			fatalf("%v", err)

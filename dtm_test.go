@@ -1,0 +1,139 @@
+// End-to-end tests of the dynamic thermal management loop: the
+// determinism contract (an attached but disabled controller perturbs
+// nothing), per-policy actuator engagement on a hot stacked machine, and
+// run-to-run reproducibility of the management report.
+package nim_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	nim "repro"
+)
+
+// dtmRun builds, warms, and settles the vertically stacked DNUCA-3D
+// machine (the hottest Table 3 placement) and measures a short window
+// with the given DTM policy and trip point. An empty policy leaves DTM
+// detached; "none" attaches a controller with every actuator disabled.
+func dtmRun(t *testing.T, policy string, tripC float64, attachNone bool) nim.Results {
+	t.Helper()
+	cfg := nim.DefaultConfig(nim.CMPDNUCA3D)
+	cfg.StackCPUs = true
+	cfg.DTMPolicy = policy
+	cfg.TripTempC = tripC
+	bench, _ := nim.BenchmarkByName("mgrid", cfg.NumCPUs)
+	sim, err := nim.NewSimulation(cfg, bench, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Warm()
+	sim.Start()
+	sim.Run(5_000)
+	sim.ResetStats()
+	switch {
+	case policy != "" && policy != "none":
+		if _, err := sim.AttachDTM(1_000); err != nil {
+			t.Fatal(err)
+		}
+	case attachNone:
+		if _, err := sim.AttachDTM(1_000); err != nil {
+			t.Fatal(err)
+		}
+	default:
+		sim.AttachThermal(1_000)
+	}
+	sim.Run(30_000)
+	return sim.Results()
+}
+
+// TestDTMDoesNotPerturbWhenDisabled is the determinism contract: a run
+// with a DTM controller attached but no policy bits enabled is
+// bit-identical to a thermal-only run, which is itself bit-identical to
+// an unobserved run (TestThermalDoesNotPerturb). The reports themselves
+// are the only allowed difference.
+func TestDTMDoesNotPerturbWhenDisabled(t *testing.T) {
+	thermalOnly := dtmRun(t, "", 0, false)
+	disabled := dtmRun(t, "none", 0, true)
+	if disabled.DTM == nil {
+		t.Fatal("AttachDTM with policy \"none\" produced no DTM report")
+	}
+	if got := disabled.DTM.Policy; got != "none" {
+		t.Fatalf("disabled controller reports policy %q, want \"none\"", got)
+	}
+	if disabled.DTM.MigrationVetoes+disabled.DTM.BankWakeups+
+		disabled.DTM.ThrottleStalls+disabled.DTM.PillarDiversions != 0 {
+		t.Fatalf("disabled controller actuated: %+v", disabled.DTM)
+	}
+	disabled.DTM = nil
+	a, _ := json.Marshal(thermalOnly)
+	b, _ := json.Marshal(disabled)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("disabled DTM changed results:\nthermal-only %s\ndisabled     %s", a, b)
+	}
+}
+
+// TestDTMPolicyEngagement drives each actuator on the stacked machine
+// with the trip point lowered to 70 C, so the CPU columns trip within the
+// short window, and checks that exactly the enabled actuator engaged.
+func TestDTMPolicyEngagement(t *testing.T) {
+	const trip = 70.0
+	cases := []struct {
+		policy string
+		count  func(*nim.DTMReport) uint64
+	}{
+		{"veto", func(d *nim.DTMReport) uint64 { return d.MigrationVetoes }},
+		{"drowsy", func(d *nim.DTMReport) uint64 { return d.BankWakeups }},
+		{"duty", func(d *nim.DTMReport) uint64 { return d.ThrottleStalls }},
+		{"reroute", func(d *nim.DTMReport) uint64 { return d.PillarDiversions }},
+	}
+	for _, c := range cases {
+		t.Run(c.policy, func(t *testing.T) {
+			r := dtmRun(t, c.policy, trip, false)
+			d := r.DTM
+			if d == nil {
+				t.Fatal("no DTM report")
+			}
+			if d.TripEngagements == 0 {
+				t.Fatalf("nothing tripped at %g C (peak %.2f C): the workload is not hot enough for this test", trip, d.PeakC)
+			}
+			if got := c.count(d); got == 0 {
+				t.Errorf("policy %s never engaged: %+v", c.policy, d)
+			}
+			// Exactly the enabled actuator may engage.
+			for _, other := range cases {
+				if other.policy != c.policy && other.count(d) != 0 {
+					t.Errorf("policy %s engaged actuator %s (%d times)", c.policy, other.policy, other.count(d))
+				}
+			}
+			if c.policy == "drowsy" && d.DrowsyLeakSavedPJ <= 0 {
+				t.Errorf("drowsy saved no leakage energy: %+v", d)
+			}
+		})
+	}
+}
+
+// TestDTMDutyCycleCutsPeak checks the headline effect: duty-cycling a
+// tripped core sheds its 8 W budget, so the managed stacked run peaks
+// measurably below the unmanaged one.
+func TestDTMDutyCycleCutsPeak(t *testing.T) {
+	off := dtmRun(t, "", 0, false)
+	duty := dtmRun(t, "duty", 0, false)
+	if off.Thermal == nil || duty.Thermal == nil {
+		t.Fatal("missing thermal reports")
+	}
+	if duty.Thermal.PeakC >= off.Thermal.PeakC {
+		t.Errorf("duty-cycling did not cut the peak: managed %.2f C vs unmanaged %.2f C",
+			duty.Thermal.PeakC, off.Thermal.PeakC)
+	}
+}
+
+// TestDTMDeterministic checks the management loop's reproducibility: two
+// identical managed runs produce identical results and reports.
+func TestDTMDeterministic(t *testing.T) {
+	a, _ := json.Marshal(dtmRun(t, "all", 70, false))
+	b, _ := json.Marshal(dtmRun(t, "all", 70, false))
+	if !bytes.Equal(a, b) {
+		t.Fatalf("managed runs diverged:\nfirst  %s\nsecond %s", a, b)
+	}
+}

@@ -113,6 +113,27 @@ type Config struct {
 	// (layer 0). Off-chip requests travel the network to the nearest
 	// controller; the 260-cycle Table 4 latency is the DRAM access itself.
 	MemControllers int
+
+	// DTMPolicy selects the runtime dynamic-thermal-management actuators
+	// (internal/dtm): "" or "none" disables DTM entirely (the default —
+	// zero-valued configs are unmanaged), "all" enables everything, and a
+	// comma list picks a subset of veto, drowsy, duty, reroute. The
+	// string is parsed by dtm.ParsePolicy when the controller attaches;
+	// an unknown name fails the attach, not Validate (config cannot
+	// import dtm: dtm reads the thermal model, which reads this package).
+	DTMPolicy string
+	// TripTempC is the DTM trip temperature in C; 0 selects the
+	// conventional 85 C junction throttling point.
+	TripTempC float64
+	// DutyCycle is the throttled issue pattern "N/M" (a hot core issues
+	// on N of every M front-end slots); "" selects 1/4.
+	DutyCycle string
+}
+
+// DTMActive reports whether the config names any DTM policy, i.e.
+// whether a runner should attach the dtm.Controller for this machine.
+func (c Config) DTMActive() bool {
+	return c.DTMPolicy != "" && c.DTMPolicy != "none"
 }
 
 // Default returns the paper's Table 4 configuration for the given scheme.
@@ -190,6 +211,9 @@ func (c Config) Validate() error {
 		if v < 1 {
 			return fmt.Errorf("config: %s = %d must be >= 1", name, v)
 		}
+	}
+	if c.TripTempC < 0 {
+		return fmt.Errorf("config: TripTempC = %g must be >= 0 (0 selects the 85 C default)", c.TripTempC)
 	}
 	return nil
 }

@@ -73,6 +73,18 @@ func (cl *Cluster) set(p cache.Place) *cache.Set {
 	return cl.banks[p.Bank].Set(p.Set)
 }
 
+// bankDelay returns the access latency of the given bank: the Table 4
+// L2BankCycles, plus the drowsy wakeup when an attached DTM controller
+// holds the bank's cell in the drowsy retention state. Unmanaged runs
+// pay one nil check.
+func (cl *Cluster) bankDelay(bank int) uint64 {
+	d := uint64(cl.sys.Cfg.L2BankCycles)
+	if cl.sys.dtm != nil {
+		d += cl.sys.dtm.BankWakeup(cl.sys.Top.BankCoord(cl.id, bank))
+	}
+	return d
+}
+
 // handle dispatches a cluster-addressed message that arrived over the
 // network.
 func (cl *Cluster) handle(m *Msg) {
@@ -86,11 +98,11 @@ func (cl *Cluster) handle(m *Msg) {
 		}
 		s.Engine.AfterEvent(d, s, evClusterServe, m)
 	case msgMigData:
-		s.Engine.AfterEvent(uint64(s.Cfg.L2BankCycles), s, evClusterMigData, m)
+		s.Engine.AfterEvent(cl.bankDelay(s.Cfg.L2.PlaceOf(m.Addr).Bank), s, evClusterMigData, m)
 	case msgMigInval:
 		s.Engine.AfterEvent(uint64(s.Cfg.TagCycles), s, evClusterMigInval, m)
 	case msgReplData:
-		s.Engine.AfterEvent(uint64(s.Cfg.L2BankCycles), s, evClusterReplData, m)
+		s.Engine.AfterEvent(cl.bankDelay(s.Cfg.L2.PlaceOf(m.Addr).Bank), s, evClusterReplData, m)
 	case msgReplInval:
 		s.Engine.AfterEvent(uint64(s.Cfg.TagCycles), s, evClusterReplInval, m)
 	case msgInvalAck:
@@ -181,10 +193,13 @@ func (cl *Cluster) serve(m *Msg, direct bool) {
 	m.Kind = msgData
 	m.Cluster = cl.id
 	m.ToCluster = false
+	// The bank delay includes any DTM drowsy wakeup, so the span ledger's
+	// bank component covers the real service time.
+	d := cl.bankDelay(p.Bank)
 	if m.chain != nil {
-		m.chain.Bank = uint64(s.Cfg.L2BankCycles)
+		m.chain.Bank = d
 	}
-	s.Engine.AfterEvent(uint64(s.Cfg.L2BankCycles), s, evClusterDataReply, m)
+	s.Engine.AfterEvent(d, s, evClusterDataReply, m)
 }
 
 // nackProbe reports a tag miss back to the requester: directly into the

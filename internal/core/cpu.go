@@ -72,6 +72,14 @@ func (c *CPU) step() {
 	if !c.running {
 		return
 	}
+	if c.sys.dtm != nil && c.sys.dtm.DutyStall(c.id) {
+		// DTM duty-cycling: the core's cell is above the trip point, and
+		// this front-end slot is a skip slot — stall one cycle without
+		// fetching. Retiring fewer instructions per cycle is exactly how
+		// the actuator sheds the core's 8 W budget.
+		c.sys.Engine.AfterEvent(1, c.sys, evCPUStep, c)
+		return
+	}
 	ref := c.gen.Next()
 	c.instrs += uint64(ref.Gap)
 	if ref.Gap == 0 {

@@ -35,6 +35,14 @@ func (s *System) maybeMigrate(cl *Cluster, addr cache.LineAddr, p cache.Place, e
 	if target < 0 || target == cl.id {
 		return
 	}
+	if s.dtm != nil && s.dtm.VetoMigration(s.Top.ClusterCenter(target)) {
+		// DTM veto: the step would move the line toward a cell above the
+		// trip point. Restart the hit count so the line re-qualifies over
+		// a full threshold window, by which time the target may have
+		// cooled past the release temperature.
+		e.Hits = 0
+		return
+	}
 	e.Hits = 0
 	e.Migrating = true
 	s.M.Migrations.Inc()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/dtm"
 	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/stats"
@@ -51,6 +52,55 @@ func (s *System) AttachThermal(interval uint64) *obs.ThermalTracker {
 	s.refreshProbe()
 	s.Engine.Register(tt)
 	return tt
+}
+
+// AttachDTM closes the thermal loop: it builds a dtm.Controller from the
+// config's DTM fields (DTMPolicy, TripTempC, DutyCycle), attaches the
+// thermal pipeline stepping every interval cycles if one is not already
+// attached, and wires the controller as the tracker's actor plus into
+// every actuator path — migration targeting (veto), bank access (drowsy
+// wakeups), CPU issue (duty-cycling), and, when the reroute policy is
+// enabled, the fabric's pillar selection. Attach at the start of the
+// window to manage (typically right after ResetStats), in place of
+// AttachThermal; Results gains both the Thermal and the DTM reports.
+//
+// The error cases are an unparseable Cfg.DTMPolicy or Cfg.DutyCycle. An
+// empty policy ("" or "none") is valid and attaches a controller that
+// actuates nothing — useful for verifying the loop itself is inert (see
+// TestDTMDoesNotPerturbWhenDisabled).
+func (s *System) AttachDTM(interval uint64) (*dtm.Controller, error) {
+	pol, err := dtm.ParsePolicy(s.Cfg.DTMPolicy)
+	if err != nil {
+		return nil, err
+	}
+	on, period, err := dtm.ParseDuty(s.Cfg.DutyCycle)
+	if err != nil {
+		return nil, err
+	}
+	if s.thermalT == nil {
+		s.AttachThermal(interval)
+	}
+	prm := thermal.DefaultParams()
+	ctl := dtm.NewController(s.Top.Dim, pol, dtm.Options{
+		TripC:          s.Cfg.TripTempC,
+		DutyOn:         on,
+		DutyPeriod:     period,
+		CellLeakW:      prm.CellPowerW,
+		DrowsyLeakFrac: power.DrowsyLeakageFraction,
+		WakeupCycles:   power.DrowsyWakeupCycles,
+		ClockHz:        power.ClockHz,
+	})
+	for _, c := range s.CPUs {
+		ctl.AddCPU(c.pos)
+	}
+	s.thermalT.SetActor(ctl)
+	if pol.Has(dtm.PolicyReroute) {
+		// Install the pillar bias only when the policy wants it, so the
+		// other policies keep the fabric's unbiased selection path.
+		s.Fab.SetPillarPenalty(ctl.PillarPenalty, ctl.NotePillarDiversion)
+	}
+	s.dtm = ctl
+	return ctl, nil
 }
 
 // WriteThermalMap renders per-layer ASCII temperature maps of the attached

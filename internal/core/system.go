@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/config"
+	"repro/internal/dtm"
 	"repro/internal/fabric"
 	"repro/internal/geom"
 	"repro/internal/noc"
@@ -120,6 +121,12 @@ type System struct {
 	obsProbe  *obs.Probe
 	traceSink obs.Sink
 	thermalT  *obs.ThermalTracker
+
+	// dtm, when non-nil, is the attached dynamic-thermal-management
+	// controller (see AttachDTM): the migration, bank-access, CPU-issue,
+	// and pillar-selection paths consult it, each behind a single nil
+	// check so an unmanaged run pays nothing.
+	dtm *dtm.Controller
 
 	// spans, when non-nil, records per-transaction latency spans; see
 	// AttachSpans. Unlike obsProbe it is not a fabric probe and registers
@@ -688,6 +695,11 @@ type Results struct {
 	// only when the thermal pipeline was attached (see AttachThermal);
 	// nil otherwise.
 	Thermal *obs.ThermalReport `json:",omitempty"`
+
+	// DTM is the dynamic-thermal-management summary — trip engagements,
+	// per-actuator counts, and their latency cost — filled only when a
+	// DTM controller was attached (see AttachDTM); nil otherwise.
+	DTM *dtm.Report `json:",omitempty"`
 }
 
 // Results reads out the current measurement window.
@@ -732,6 +744,9 @@ func (s *System) Results() Results {
 	}
 	if s.thermalT != nil {
 		r.Thermal = s.thermalT.Report()
+	}
+	if s.dtm != nil {
+		r.DTM = s.dtm.Report()
 	}
 	return r
 }

@@ -1,0 +1,35 @@
+// Package dtm implements runtime dynamic thermal management for the 3D
+// Network-in-Memory simulator: the policy layer that closes the loop
+// between the transient thermal grid (internal/thermal, stepped by the
+// activity-driven telemetry pipeline in internal/obs) and the simulated
+// machine's actuators.
+//
+// The Controller subscribes to the thermal tracker's step boundary. After
+// every RC step it re-derives a per-cell hot mask from the cycle-stamped
+// grid temperatures — a cell trips at Options.TripC and releases at
+// TripC - HysteresisC — and the actuators consult that mask on their own
+// fast paths:
+//
+//   - Migration veto (PolicyMigrationVeto): cache-line migration steps
+//     whose target cluster sits on a hot cell are blocked, so the
+//     migration policy stops concentrating load into hotspots.
+//   - Drowsy banks (PolicyDrowsy): banks on hot cells drop to a drowsy
+//     retention state, cutting their leakage contribution to the next
+//     thermal window; an access to a drowsy bank first pays a wakeup
+//     latency.
+//   - CPU duty-cycling (PolicyDutyCycle): a core whose cell is hot issues
+//     on only N of every M front-end slots (Options.DutyOn/DutyPeriod),
+//     cutting its instruction rate and so its dominant 8 W/core heat
+//     source — the big lever, as in MemPool-3D-style 3D throttling.
+//   - Reroute bias (PolicyReroute): pillar selection for cross-layer
+//     packets sees hot pillar columns as PillarPenaltyHops farther,
+//     diverting vertical traffic (and its flit energy) away from
+//     hotspots unless the detour is even more expensive.
+//
+// Determinism contract: every policy decision is a pure function of the
+// hot mask, which itself is a pure function of the grid state at the last
+// thermal step boundary (a cycle-stamped, seed-deterministic quantity).
+// The controller keeps no wall-clock or sampled state, so a managed run
+// is exactly reproducible, and a run with a Controller attached but no
+// policy bits enabled is bit-identical to an unmanaged run.
+package dtm

@@ -66,6 +66,14 @@ type Fabric struct {
 	// probe, when non-nil, receives packet inject/eject events; SetProbe
 	// also fans it out to every router and pillar bus.
 	probe *obs.Probe
+
+	// pillarPenalty, when non-nil, biases pillar selection: BestPillar
+	// adds its value (extra apparent hops for the column at the given
+	// in-plane position) to each candidate's distance. pillarDiverted,
+	// when non-nil, is invoked whenever the bias changes the chosen
+	// pillar — the DTM reroute actuator's engagement count.
+	pillarPenalty func(x, y int) int
+	pillarDiverted func()
 }
 
 // New builds the fabric. pillars lists the in-plane pillar positions; each
@@ -218,20 +226,56 @@ func (f *Fabric) SetSink(c geom.Coord, fn func(p *noc.Packet, cycle uint64)) {
 // tail flit ejects, so the reference must not be retained past delivery.
 func (f *Fabric) NewPacket() *noc.Packet { return f.pool.Get() }
 
+// SetPillarPenalty installs a per-pillar routing penalty for pillar
+// selection: BestPillar sees the column at in-plane position (x, y) as
+// penalty(x, y) hops farther than it is. diverted, when non-nil, is
+// invoked once per packet whose pillar choice the penalty changed. This
+// is the hook for the DTM reroute actuator — pillar selection is the
+// network's only routing freedom, since deviating from in-plane
+// dimension-order routing would forfeit its deadlock freedom. A nil
+// penalty detaches the bias, restoring the unbiased selection path.
+func (f *Fabric) SetPillarPenalty(penalty func(x, y int) int, diverted func()) {
+	f.pillarPenalty = penalty
+	f.pillarDiverted = diverted
+}
+
 // BestPillar returns the pillar position minimizing the total in-plane
 // distance src->pillar plus pillar->dst (the vertical hop itself is a
-// single bus cycle regardless of layer distance). Ties break toward the
-// lowest pillar index, keeping routing deterministic.
+// single bus cycle regardless of layer distance), plus any installed
+// pillar penalty (SetPillarPenalty). Ties break toward the lowest pillar
+// index, keeping routing deterministic — the penalty is a function of
+// thermal-step-boundary state, so biased routing is deterministic too.
 func (f *Fabric) BestPillar(src, dst geom.Coord) (geom.Coord, bool) {
 	if len(f.pillars) == 0 {
 		return geom.Coord{}, false
 	}
-	best := f.pillars[0]
-	bestD := src.HopsVia(dst, best)
-	for _, p := range f.pillars[1:] {
-		if d := src.HopsVia(dst, p); d < bestD {
-			best, bestD = p, d
+	if f.pillarPenalty == nil {
+		best := f.pillars[0]
+		bestD := src.HopsVia(dst, best)
+		for _, p := range f.pillars[1:] {
+			if d := src.HopsVia(dst, p); d < bestD {
+				best, bestD = p, d
+			}
 		}
+		return best, true
+	}
+	// Biased selection: track the unbiased winner alongside, so the
+	// diversion callback fires exactly when the penalty changed the
+	// outcome.
+	best, unbiased := f.pillars[0], f.pillars[0]
+	d0 := src.HopsVia(dst, best)
+	bestD, unbiasedD := d0+f.pillarPenalty(best.X, best.Y), d0
+	for _, p := range f.pillars[1:] {
+		d := src.HopsVia(dst, p)
+		if b := d + f.pillarPenalty(p.X, p.Y); b < bestD {
+			best, bestD = p, b
+		}
+		if d < unbiasedD {
+			unbiased, unbiasedD = p, d
+		}
+	}
+	if best != unbiased && f.pillarDiverted != nil {
+		f.pillarDiverted()
 	}
 	return best, true
 }

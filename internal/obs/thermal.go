@@ -10,6 +10,19 @@ import (
 // throttling point, overridable with ThermalTracker.SetThreshold.
 const DefaultThermalThresholdC = 85.0
 
+// ThermalActor closes the control loop on the thermal pipeline: a policy
+// layer (internal/dtm) that both observes every freshly stepped grid and
+// feeds effects back into the next step's power map. AdjustPower runs
+// after the window's dynamic energy is flushed and before the RC step,
+// with the window's span in cycles and the per-cell power map (static
+// background plus dynamic) to modify in place; GridStepped runs after
+// the step, with the cycle-stamped grid state the actor's decisions must
+// be a pure function of (the determinism contract of DESIGN.md §13).
+type ThermalActor interface {
+	AdjustPower(cycles uint64, powerW []float64)
+	GridStepped(cycle uint64, g *thermal.Grid)
+}
+
 // cpuFeed is one core's activity source: the tracker charges the
 // per-window instruction delta at the core's cell.
 type cpuFeed struct {
@@ -38,6 +51,7 @@ type ThermalTracker struct {
 	interval   uint64
 	thresholdC float64
 	cpus       []cpuFeed
+	actor      ThermalActor
 
 	// static is the background power map (thermal.Params.CellPowerW per
 	// cell); scratch is static + the flushed window, passed to Step.
@@ -106,6 +120,10 @@ func (t *ThermalTracker) Interval() uint64 { return t.interval }
 // SetThreshold overrides the time-above-threshold temperature (C).
 func (t *ThermalTracker) SetThreshold(c float64) { t.thresholdC = c }
 
+// SetActor installs the control-loop hook invoked around every thermal
+// step (nil detaches it). With no actor the step path is unchanged.
+func (t *ThermalTracker) SetActor(a ThermalActor) { t.actor = a }
+
 // AddCPU registers one core's activity feed: read must return the core's
 // cumulative committed instruction count; the delta each window is charged
 // as CPU energy at pos.
@@ -146,6 +164,9 @@ func (t *ThermalTracker) Tick(cycle uint64) {
 	// the window's wall-clock duration.
 	copy(t.scratch, t.static)
 	t.lastCompW = t.acct.FlushWindow(cycles, t.scratch)
+	if t.actor != nil {
+		t.actor.AdjustPower(cycles, t.scratch)
+	}
 	dt := float64(cycles) / t.model.ClockHz
 	t.grid.Step(dt, t.scratch)
 
@@ -160,6 +181,9 @@ func (t *ThermalTracker) Tick(cycle uint64) {
 	}
 	for l := range t.lastLayers {
 		t.lastLayers[l] = t.grid.LayerProfile(l)
+	}
+	if t.actor != nil {
+		t.actor.GridStepped(cycle, t.grid)
 	}
 }
 

@@ -110,6 +110,23 @@ const (
 	CPUMaxPowerW = 8.0
 )
 
+// Drowsy/shutdown bank model, the DTM leakage actuator (internal/dtm):
+// while its cell is above the trip point a bank drops to a drowsy
+// retention state — supply lowered to the data-retention voltage, as in
+// drowsy caches — and an access must first restore full voltage.
+const (
+	// DrowsyLeakageFraction is the share of a cell's background
+	// (leakage) power a drowsy bank still draws. The SRAM array's
+	// leakage collapses by roughly an order of magnitude at the
+	// retention voltage; the cell's router share and periphery stay
+	// powered, leaving about a quarter of the background draw.
+	DrowsyLeakageFraction = 0.25
+	// DrowsyWakeupCycles is the extra latency of an access that finds
+	// its bank drowsy: the wordline supply must slew back to Vdd before
+	// the 64 KB bank's sense amps are usable (a few cycles at 500 MHz).
+	DrowsyWakeupCycles = 3
+)
+
 // DynamicEnergy summarizes the dynamic energy of a measurement window.
 type DynamicEnergy struct {
 	NetworkPJ   float64

@@ -41,6 +41,12 @@ type Job struct {
 	// window; the run-level report lands in Results.Thermal, and any
 	// attached sampler gains the thermal columns. Zero leaves the pipeline
 	// off, costing nothing.
+	//
+	// When Config.DTMActive() (Config.DTMPolicy names any policy), the
+	// runner attaches the DTM controller instead (core.System.AttachDTM,
+	// which subsumes the thermal attach at the same interval), and
+	// Results.DTM carries the management report. DTM needs the thermal
+	// loop, so a DTM-active job with a zero ThermalInterval fails.
 	ThermalInterval uint64
 	// RecordSpans attaches a transaction span recorder
 	// (core.System.AttachSpans), so Results.Breakdown carries the
@@ -182,7 +188,18 @@ func runOne(i int, j Job) (res Result) {
 		// Before the sampler: the tracker must tick (flushing its power
 		// window and stepping the grid) before the sampler reads the
 		// thermal columns.
-		sys.AttachThermal(j.ThermalInterval)
+		if j.Config.DTMActive() {
+			if _, err := sys.AttachDTM(j.ThermalInterval); err != nil {
+				res.Err = err
+				return res
+			}
+		} else {
+			sys.AttachThermal(j.ThermalInterval)
+		}
+	} else if j.Config.DTMActive() {
+		res.Err = fmt.Errorf("runner: job %d sets DTMPolicy=%q but no ThermalInterval (DTM needs the thermal loop)",
+			i, j.Config.DTMPolicy)
+		return res
 	}
 	var sampler *obs.Sampler
 	if j.SampleInterval > 0 {

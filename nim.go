@@ -36,6 +36,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/dtm"
 	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/thermal"
@@ -293,6 +294,50 @@ func WriteCounterTrace(w io.Writer, ts *MetricsSeries) error {
 // AttachThermal was never called.
 func (s *Simulation) WriteThermalMap(w io.Writer) error {
 	return s.sys.WriteThermalMap(w)
+}
+
+// DTMController is the runtime dynamic-thermal-management policy engine;
+// see AttachDTM.
+type DTMController = dtm.Controller
+
+// DTMPolicy is a composable bitmask of DTM actuators; parse flag values
+// with ParseDTMPolicy.
+type DTMPolicy = dtm.Policy
+
+// The DTM actuators (compose with |, or use DTMAll).
+const (
+	DTMMigrationVeto = dtm.PolicyMigrationVeto
+	DTMDrowsy        = dtm.PolicyDrowsy
+	DTMDutyCycle     = dtm.PolicyDutyCycle
+	DTMReroute       = dtm.PolicyReroute
+	DTMAll           = dtm.PolicyAll
+)
+
+// ParseDTMPolicy parses a policy specification: "" or "none", "all", or
+// a comma-separated subset of veto, drowsy, duty, reroute.
+func ParseDTMPolicy(s string) (DTMPolicy, error) { return dtm.ParsePolicy(s) }
+
+// DTMReport is the run-level dynamic-thermal-management summary appearing
+// in Results.DTM when a DTM controller is attached: trip engagements,
+// per-actuator counts (migration vetoes, drowsy-bank wakeups, duty-cycle
+// stalls, pillar diversions), their direct latency cost, and how far the
+// managed run still overshot the trip point.
+type DTMReport = dtm.Report
+
+// AttachDTM closes the thermal loop: it builds a DTM controller from the
+// Config's DTMPolicy/TripTempC/DutyCycle fields, attaches the thermal
+// pipeline at the given step interval if none is attached yet, and wires
+// the policy actuators into the machine — cache-line migration steps
+// toward hot cells are vetoed, banks on hot cells turn drowsy (leakage
+// cut, wakeup latency), hot cores duty-cycle their issue slots, and
+// cross-layer traffic is biased away from hot pillar columns. Attach in
+// place of AttachThermal at the start of the window to manage; Results
+// gains both the Thermal and the DTM reports. It errors on an
+// unparseable DTMPolicy or DutyCycle. Policy decisions are functions of
+// thermal-step-boundary grid state, so managed runs stay deterministic;
+// a run with no policy named is bit-identical to an unmanaged run.
+func (s *Simulation) AttachDTM(interval uint64) (*DTMController, error) {
+	return s.sys.AttachDTM(interval)
 }
 
 // AttachSpans attaches a transaction span recorder: every L2 transaction

@@ -6,6 +6,8 @@
 # Captured benchmarks:
 #   BenchmarkSimulatorThroughput  — whole-system cycles/sec (the headline)
 #   BenchmarkEventQueue/*         — engine event queue: legacy heap vs wheel
+#   BenchmarkDTMOverhead/*        — thermal-management loop: detached vs
+#                                   disabled controller vs all actuators
 #
 # Usage: scripts/bench.sh                          (2s per benchmark)
 #        BENCHTIME=5s scripts/bench.sh
@@ -43,7 +45,7 @@ if [ "${1:-}" = "--compare" ]; then
 	fi
 fi
 
-pattern='BenchmarkSimulatorThroughput$|BenchmarkEventQueue'
+pattern='BenchmarkSimulatorThroughput$|BenchmarkEventQueue|BenchmarkDTMOverhead'
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
