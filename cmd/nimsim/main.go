@@ -9,28 +9,25 @@
 //	nimsim -scheme dnuca3d -bench art -pillars 2
 //	nimsim -scheme dnuca3d -bench mgrid -trace trace.json -metrics m.csv
 //	nimsim -scheme dnuca3d -bench mgrid -breakdown -spans spans.json
+//	nimsim -serve :8080    # simulation-as-a-service daemon (see cmd/nimsimd)
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
-	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	nim "repro"
 	"repro/internal/power"
+	"repro/internal/serve"
 )
-
-var schemeNames = map[string]nim.Scheme{
-	"dnuca":   nim.CMPDNUCA,
-	"dnuca2d": nim.CMPDNUCA2D,
-	"snuca3d": nim.CMPSNUCA3D,
-	"dnuca3d": nim.CMPDNUCA3D,
-}
 
 func main() {
 	var (
@@ -61,18 +58,26 @@ func main() {
 		trip     = flag.Float64("trip", 0, "DTM trip temperature in C (0 = the 85 C default)")
 		duty     = flag.String("duty", "", "DTM duty-cycle pattern N/M: a hot core issues on N of every M slots (default 1/4)")
 		pprof    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		srvAddr  = flag.String("serve", "", "run as the telemetry daemon on this address instead of a one-shot simulation (POST /jobs, SSE streams, /metrics, /healthz)")
 	)
 	flag.Parse()
 
+	if *srvAddr != "" {
+		runDaemon(*srvAddr, *pprof, *interval)
+		return
+	}
 	if *pprof != "" {
+		// A dedicated mux: the profiler never registers on
+		// http.DefaultServeMux, so no other handler in the process can
+		// silently inherit it.
 		go func() {
-			if err := http.ListenAndServe(*pprof, nil); err != nil {
+			if err := http.ListenAndServe(*pprof, serve.PprofMux()); err != nil {
 				fmt.Fprintf(os.Stderr, "nimsim: pprof: %v\n", err)
 			}
 		}()
 	}
 
-	s, ok := schemeNames[strings.ToLower(*scheme)]
+	s, ok := serve.ParseScheme(*scheme)
 	if !ok {
 		fatalf("unknown scheme %q (want dnuca, dnuca2d, snuca3d, dnuca3d)", *scheme)
 	}
@@ -276,6 +281,31 @@ func main() {
 
 	if err := sim.CheckInvariants(); err != nil {
 		fatalf("invariant violation: %v", err)
+	}
+}
+
+// runDaemon runs the simulation-as-a-service mode (`nimsim -serve`).
+// When -pprof names the same address as -serve, both share one listener
+// deliberately: the profiler mounts on the daemon's own mux. A different
+// -pprof address gets its own listener with a dedicated pprof-only mux.
+func runDaemon(addr, pprofAddr string, sampleInterval uint64) {
+	if pprofAddr != "" && pprofAddr != addr {
+		go func() {
+			if err := http.ListenAndServe(pprofAddr, serve.PprofMux()); err != nil {
+				fmt.Fprintf(os.Stderr, "nimsim: pprof: %v\n", err)
+			}
+		}()
+	}
+	srv := serve.New(serve.Options{
+		Addr:                  addr,
+		DefaultSampleInterval: sampleInterval,
+		EnablePprof:           pprofAddr == addr && pprofAddr != "",
+	})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "nimsim: serving on %s (POST /jobs, /metrics, /healthz)\n", addr)
+	if err := srv.ListenAndServe(ctx); err != nil {
+		fatalf("%v", err)
 	}
 }
 

@@ -1,0 +1,104 @@
+package config
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestCanonicalHashRoundTrip pins the property the serving tier's cache
+// depends on: a Config that travels through its JSON encoding (the wire
+// format of a job submission) hashes identically to the original.
+func TestCanonicalHashRoundTrip(t *testing.T) {
+	for _, s := range []Scheme{CMPDNUCA, CMPDNUCA2D, CMPSNUCA3D, CMPDNUCA3D} {
+		c := Default(s)
+		c.DTMPolicy = "duty,veto"
+		c.TripTempC = 80
+		c.DutyCycle = "1/2"
+		before := CanonicalHash(c)
+
+		b, err := json.Marshal(c)
+		if err != nil {
+			t.Fatalf("%v: marshal: %v", s, err)
+		}
+		var back Config
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("%v: unmarshal: %v", s, err)
+		}
+		if after := CanonicalHash(back); after != before {
+			t.Errorf("%v: hash changed across JSON round-trip: %s != %s", s, before, after)
+		}
+		if !reflect.DeepEqual(c, back) {
+			t.Errorf("%v: config changed across JSON round-trip", s)
+		}
+	}
+}
+
+// TestCanonicalHashStable pins determinism: hashing the same value twice
+// gives the same string, and two independently built Defaults agree.
+func TestCanonicalHashStable(t *testing.T) {
+	a := CanonicalHash(Default(CMPDNUCA3D))
+	b := CanonicalHash(Default(CMPDNUCA3D))
+	if a != b {
+		t.Fatalf("hash not deterministic: %s != %s", a, b)
+	}
+	if len(a) != 64 {
+		t.Fatalf("hash length %d, want 64 hex chars", len(a))
+	}
+}
+
+// TestCanonicalHashSensitivity perturbs every exported field of Config
+// (and, transitively, the cache geometry) and requires the hash to move —
+// the guard against a field silently falling out of the canonical
+// encoding, which would make the result cache return wrong answers for
+// configs differing only in that field.
+func TestCanonicalHashSensitivity(t *testing.T) {
+	base := Default(CMPDNUCA3D)
+	baseHash := CanonicalHash(base)
+
+	perturb(t, "", reflect.ValueOf(&base).Elem(), func(field string) {
+		if got := CanonicalHash(base); got == baseHash {
+			t.Errorf("perturbing %s did not change the hash", field)
+		}
+	})
+}
+
+// perturb visits every exported field of v (recursing into structs),
+// mutates it, calls check, and restores the original value.
+func perturb(t *testing.T, prefix string, v reflect.Value, check func(field string)) {
+	t.Helper()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		name := prefix + v.Type().Field(i).Name
+		if !f.CanSet() {
+			t.Fatalf("field %s is unexported; CanonicalHash would miss it", name)
+		}
+		switch f.Kind() {
+		case reflect.Struct:
+			perturb(t, name+".", f, check)
+			continue
+		case reflect.Int:
+			old := f.Int()
+			f.SetInt(old + 1)
+			check(name)
+			f.SetInt(old)
+		case reflect.Bool:
+			old := f.Bool()
+			f.SetBool(!old)
+			check(name)
+			f.SetBool(old)
+		case reflect.String:
+			old := f.String()
+			f.SetString(old + "x")
+			check(name)
+			f.SetString(old)
+		case reflect.Float64:
+			old := f.Float()
+			f.SetFloat(old + 1)
+			check(name)
+			f.SetFloat(old)
+		default:
+			t.Fatalf("field %s has unhandled kind %v; extend the test", name, f.Kind())
+		}
+	}
+}

@@ -140,6 +140,38 @@ func (s *System) AttachSpans() *obs.SpanRecorder {
 	return s.spans
 }
 
+// StatsRegistry returns the machine's counter registry: the live Metrics
+// fields and raw fabric traffic counters exposed through the stats.Set
+// Names/Value interface. The registry is built once and shared — the
+// sampler's per-interval deltas read it, and the serving tier snapshots
+// it (stats.Set.Snapshot, called between engine runs on the simulation's
+// goroutine) to publish per-job counters on /metrics. The hot paths keep
+// incrementing the Metrics fields directly: Metrics.Reset assigns through
+// the pointer receiver, so the registered addresses stay live across
+// ResetStats.
+func (s *System) StatsRegistry() *stats.Set {
+	if s.statsReg != nil {
+		return s.statsReg
+	}
+	reg := stats.NewSet()
+	reg.Register("l2_accesses", &s.M.L2Accesses)
+	reg.Register("l2_hits", &s.M.L2Hits)
+	reg.Register("l2_misses", &s.M.L2Misses)
+	reg.Register("migrations", &s.M.Migrations)
+	reg.Register("invalidations", &s.M.Invalidations)
+	reg.Register("evictions", &s.M.Evictions)
+	reg.Register("mem_reads", &s.M.MemReads)
+	reg.Register("mem_writes", &s.M.MemWrites)
+	reg.Register("probes_sent", &s.M.ProbesSent)
+	// Raw traffic totals: flit_hops is a live fabric counter; bus_flits
+	// exists only as a sum over the pillar buses, so it registers as a
+	// derived-counter closure.
+	reg.Register("flit_hops", &s.Fab.FlitHops)
+	reg.RegisterFunc("bus_flits", s.Fab.BusFlits)
+	s.statsReg = reg
+	return reg
+}
+
 // AttachSampler registers a periodic metrics sampler with the engine:
 // every interval cycles it appends one row of interval metrics — counter
 // deltas from a stats.Set registry backed by the live Metrics fields, the
@@ -161,28 +193,7 @@ func (s *System) AttachSpans() *obs.SpanRecorder {
 //	    — fraction of the interval's cycles pillar bus N carried a flit
 func (s *System) AttachSampler(interval uint64) *obs.Sampler {
 	sm := obs.NewSampler(interval)
-
-	// The counter registry: the sampler snapshots these through the
-	// stats.Set Names/Value interface; the hot paths keep incrementing
-	// the Metrics fields directly. Metrics.Reset assigns through the
-	// pointer receiver, so the registered addresses stay live across
-	// ResetStats.
-	reg := stats.NewSet()
-	reg.Register("l2_accesses", &s.M.L2Accesses)
-	reg.Register("l2_hits", &s.M.L2Hits)
-	reg.Register("l2_misses", &s.M.L2Misses)
-	reg.Register("migrations", &s.M.Migrations)
-	reg.Register("invalidations", &s.M.Invalidations)
-	reg.Register("evictions", &s.M.Evictions)
-	reg.Register("mem_reads", &s.M.MemReads)
-	reg.Register("mem_writes", &s.M.MemWrites)
-	reg.Register("probes_sent", &s.M.ProbesSent)
-	// Raw traffic totals: flit_hops is a live fabric counter; bus_flits
-	// exists only as a sum over the pillar buses, so it registers as a
-	// derived-counter closure.
-	reg.Register("flit_hops", &s.Fab.FlitHops)
-	reg.RegisterFunc("bus_flits", s.Fab.BusFlits)
-	sm.AddCounterSet(reg)
+	sm.AddCounterSet(s.StatsRegistry())
 
 	// L2 hit latency over the interval: deltas of the cumulative
 	// accumulator. ResetStats (which zeroes the accumulator) restarts the

@@ -133,6 +133,10 @@ type System struct {
 	// no tickers, so idle-cycle skipping stays engaged.
 	spans *obs.SpanRecorder
 
+	// statsReg is the lazily built counter registry over the live Metrics
+	// fields and fabric traffic counters; see StatsRegistry.
+	statsReg *stats.Set
+
 	baseCycle, baseInstr, baseFlitHops, baseBusFlits uint64
 }
 

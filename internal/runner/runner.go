@@ -8,6 +8,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
@@ -55,6 +56,36 @@ type Job struct {
 	// making the breakdown cover exactly the transactions the measured
 	// latency means do. False leaves span tracing off, costing nothing.
 	RecordSpans bool
+
+	// Progress, when non-nil, receives the job's completion fraction —
+	// warm+measure cycles executed over the total — as the simulation
+	// advances. The sequence is monotonically non-decreasing, stays in
+	// [0, 1], and always ends with exactly 1.0 (including for zero-cycle
+	// windows). Setting it makes the runner advance the machine in
+	// bounded chunks instead of two long Run calls; chunked execution is
+	// cycle-for-cycle identical to unchunked (the engine's idle skip
+	// resumes across chunk boundaries), so Results are unchanged. Calls
+	// arrive on the worker goroutine executing this job.
+	Progress func(fraction float64)
+
+	// OnSample, when non-nil (and SampleInterval non-zero), streams each
+	// sampled interval-metrics row the moment it is taken, via the
+	// sampler's row sink (obs.Sampler.SetRowSink): header is the column
+	// list (first entry "cycle"), row the freshly appended values. The
+	// slices are owned by the sampler — copy to retain. Calls arrive on
+	// the worker goroutine; hand the data off quickly (the simulated
+	// clock is stopped while the sink runs). Result.Samples still carries
+	// the complete series at the end.
+	OnSample func(header []string, row []float64)
+
+	// OnStats, when non-nil, receives a race-safe snapshot of the
+	// machine's counter registry (core.System.StatsRegistry) after each
+	// measurement chunk and once more at completion. The snapshot is
+	// taken between engine runs on the worker goroutine and shares no
+	// memory with the live counters, so the receiver may publish it to
+	// other goroutines as-is — the serving tier's /metrics reads these.
+	// Setting it implies chunked execution, as for Progress.
+	OnStats func(snap []stats.NameValue)
 }
 
 // Result pairs a Job with its outcome. Exactly one of Results/Err is
@@ -182,7 +213,14 @@ func runOne(i int, j Job) (res Result) {
 	}
 	sys.Warm(j.Seed)
 	sys.Start()
-	sys.Run(j.WarmCycles)
+	// Progress spans both windows proportionally: the warm phase covers
+	// [0, warmFrac], the measurement phase [warmFrac, 1].
+	total := j.WarmCycles + j.MeasureCycles
+	warmFrac := 0.0
+	if total > 0 {
+		warmFrac = float64(j.WarmCycles) / float64(total)
+	}
+	runChunked(sys, j, j.WarmCycles, 0, warmFrac, false)
 	sys.ResetStats()
 	if j.ThermalInterval > 0 {
 		// Before the sampler: the tracker must tick (flushing its power
@@ -204,13 +242,66 @@ func runOne(i int, j Job) (res Result) {
 	var sampler *obs.Sampler
 	if j.SampleInterval > 0 {
 		sampler = sys.AttachSampler(j.SampleInterval)
+		if j.OnSample != nil {
+			sampler.SetRowSink(j.OnSample)
+		}
 	}
-	sys.Run(j.MeasureCycles)
+	runChunked(sys, j, j.MeasureCycles, warmFrac, 1-warmFrac, true)
+	if j.Progress != nil {
+		j.Progress(1)
+	}
+	if j.OnStats != nil {
+		j.OnStats(sys.StatsRegistry().Snapshot())
+	}
 	res.Results = sys.Results()
 	if sampler != nil {
 		res.Samples = sampler.Series()
 	}
 	return res
+}
+
+// progressChunks bounds how many Run calls a chunked phase splits into;
+// 64 keeps the per-call overhead invisible (each chunk is thousands of
+// cycles for realistic windows) while giving ~1.5% progress granularity.
+const progressChunks = 64
+
+// runChunked advances the machine by cycles, either in one Run call (no
+// hooks set — the historical path, zero behavior change) or in up to
+// progressChunks bounded chunks, reporting base+span*done/cycles after
+// each. Chunked execution is cycle-for-cycle identical to a single Run:
+// the engine's idle-cycle skip restarts at each chunk boundary and the
+// skipped steps are no-ops, so only the observation points differ.
+// measuring gates the OnStats hook to the measurement window, where the
+// counters mean something.
+func runChunked(sys *core.System, j Job, cycles uint64, base, span float64, measuring bool) {
+	hooked := j.Progress != nil || (measuring && j.OnStats != nil)
+	if !hooked || cycles == 0 {
+		sys.Run(cycles)
+		return
+	}
+	chunk := cycles / progressChunks
+	if chunk == 0 {
+		chunk = 1
+	}
+	var done uint64
+	for done < cycles {
+		n := chunk
+		if cycles-done < n {
+			n = cycles - done
+		}
+		sys.Run(n)
+		done += n
+		if j.Progress != nil {
+			f := base + span*float64(done)/float64(cycles)
+			if f > 1 { // float round-off; the contract is [0, 1]
+				f = 1
+			}
+			j.Progress(f)
+		}
+		if measuring && j.OnStats != nil {
+			j.OnStats(sys.StatsRegistry().Snapshot())
+		}
+	}
 }
 
 // FirstError returns the first failed job's error in input order, or nil

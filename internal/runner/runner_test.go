@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/config"
+	"repro/internal/stats"
 )
 
 // testJobs builds a small but heterogeneous sweep: two schemes and two
@@ -237,5 +238,149 @@ func benchmarkSweep(b *testing.B, workers int) {
 		if err := FirstError(res); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestJobProgressFraction pins the per-job completion-fraction contract:
+// monotonically non-decreasing, bounded by [0, 1], final value exactly
+// 1.0, spanning both the warm and the measurement windows — and, because
+// setting the hook switches the runner to chunked execution, that a
+// hooked run's Results are identical to an unhooked one's.
+func TestJobProgressFraction(t *testing.T) {
+	base := Job{
+		Config:        config.Default(config.CMPDNUCA3D),
+		Benchmark:     "mgrid",
+		WarmCycles:    3_000,
+		MeasureCycles: 9_000,
+		Seed:          7,
+	}
+	plain := Run([]Job{base}, 1)[0]
+	if plain.Err != nil {
+		t.Fatal(plain.Err)
+	}
+
+	var fracs []float64
+	hooked := base
+	hooked.Progress = func(f float64) { fracs = append(fracs, f) }
+	got := Run([]Job{hooked}, 1)[0]
+	if got.Err != nil {
+		t.Fatal(got.Err)
+	}
+
+	if len(fracs) == 0 {
+		t.Fatal("progress hook never called")
+	}
+	for i, f := range fracs {
+		if f < 0 || f > 1 {
+			t.Fatalf("fraction %d = %v outside [0, 1]", i, f)
+		}
+		if i > 0 && f < fracs[i-1] {
+			t.Fatalf("fraction %d = %v after %v: not monotonic", i, f, fracs[i-1])
+		}
+	}
+	if last := fracs[len(fracs)-1]; last != 1.0 {
+		t.Fatalf("final fraction = %v, want exactly 1.0", last)
+	}
+	// ~64 chunks per phase plus the final 1.0: the hook must report real
+	// intermediate progress, not just completion.
+	if len(fracs) < 10 {
+		t.Fatalf("only %d progress reports; chunking is not happening", len(fracs))
+	}
+	// The first report is one warm chunk: a small, non-zero fraction well
+	// inside the warm window's [0, warmFrac] share.
+	warmFrac := float64(base.WarmCycles) / float64(base.WarmCycles+base.MeasureCycles)
+	if fracs[0] <= 0 || fracs[0] > warmFrac/32 {
+		t.Errorf("first fraction = %v, want one warm chunk (0, %v]", fracs[0], warmFrac/32)
+	}
+
+	if got.Results != plain.Results {
+		t.Errorf("chunked run diverged from unchunked:\nchunked:   %+v\nunchunked: %+v",
+			got.Results, plain.Results)
+	}
+}
+
+// TestJobProgressZeroWindow: zero-cycle windows are honored literally and
+// must still finish with fraction 1.0.
+func TestJobProgressZeroWindow(t *testing.T) {
+	var fracs []float64
+	j := Job{
+		Config:    config.Default(config.CMPSNUCA3D),
+		Benchmark: "mgrid",
+		Seed:      1,
+		Progress:  func(f float64) { fracs = append(fracs, f) },
+	}
+	if r := Run([]Job{j}, 1)[0]; r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if len(fracs) == 0 || fracs[len(fracs)-1] != 1.0 {
+		t.Fatalf("fractions = %v, want final 1.0", fracs)
+	}
+}
+
+// TestJobOnSampleAndOnStats checks the streaming hooks: every sampled row
+// tees through OnSample exactly as it lands in Result.Samples, and
+// OnStats snapshots are monotone in every counter with a final snapshot
+// matching the run's cumulative counts.
+func TestJobOnSampleAndOnStats(t *testing.T) {
+	var streamed [][]float64
+	var headers []string
+	var snaps [][]stats.NameValue
+	j := Job{
+		Config:         config.Default(config.CMPDNUCA3D),
+		Benchmark:      "swim",
+		WarmCycles:     2_000,
+		MeasureCycles:  8_000,
+		Seed:           3,
+		SampleInterval: 500,
+		OnSample: func(header []string, row []float64) {
+			headers = header // stable slice; last assignment is fine
+			streamed = append(streamed, append([]float64(nil), row...))
+		},
+		OnStats: func(snap []stats.NameValue) { snaps = append(snaps, snap) },
+	}
+	r := Run([]Job{j}, 1)[0]
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if r.Samples == nil {
+		t.Fatal("no samples despite SampleInterval")
+	}
+	if len(streamed) != len(r.Samples.Rows) {
+		t.Fatalf("streamed %d rows, series has %d", len(streamed), len(r.Samples.Rows))
+	}
+	for i := range streamed {
+		for jx, v := range r.Samples.Rows[i] {
+			if streamed[i][jx] != v {
+				t.Fatalf("streamed row %d = %v != series row %v", i, streamed[i], r.Samples.Rows[i])
+			}
+		}
+	}
+	if len(headers) != len(r.Samples.Header) {
+		t.Fatalf("streamed header %v != series header %v", headers, r.Samples.Header)
+	}
+
+	if len(snaps) < 2 {
+		t.Fatalf("only %d stats snapshots; want one per measure chunk plus completion", len(snaps))
+	}
+	value := func(snap []stats.NameValue, name string) uint64 {
+		for _, nv := range snap {
+			if nv.Name == name {
+				return nv.Value
+			}
+		}
+		t.Fatalf("counter %q missing from snapshot", name)
+		return 0
+	}
+	var prev uint64
+	for i, snap := range snaps {
+		v := value(snap, "l2_accesses")
+		if v < prev {
+			t.Fatalf("snapshot %d l2_accesses = %d after %d: cumulative counters went backwards", i, v, prev)
+		}
+		prev = v
+	}
+	final := snaps[len(snaps)-1]
+	if got := value(final, "l2_accesses"); got != r.Results.L2Accesses {
+		t.Errorf("final snapshot l2_accesses = %d, Results.L2Accesses = %d", got, r.Results.L2Accesses)
 	}
 }

@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/runner"
+)
+
+// benchJob is the workload both arms simulate: small enough that the
+// serving overhead is a visible fraction of the round-trip, big enough
+// that the measurement is a real simulation and not pure HTTP.
+const (
+	benchWarm    = 1_000
+	benchMeasure = 10_000
+)
+
+// BenchmarkServeOverhead measures the serving tax: the same job run by a
+// direct runner.Run call versus a POST /jobs?wait=1 round-trip to the
+// daemon over a real localhost listener. The seed varies per iteration so
+// every daemon submission is a cache miss — otherwise the cache would
+// answer from the second iteration on and the comparison would be
+// meaningless.
+func BenchmarkServeOverhead(b *testing.B) {
+	b.Run("direct", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			j := runner.Job{
+				Config:        config.Default(config.CMPDNUCA3D),
+				Benchmark:     "mgrid",
+				WarmCycles:    benchWarm,
+				MeasureCycles: benchMeasure,
+				Seed:          uint64(i) + 1,
+			}
+			res := runner.Run([]runner.Job{j}, 1)[0]
+			if res.Err != nil {
+				b.Fatalf("direct run: %v", res.Err)
+			}
+		}
+	})
+
+	b.Run("daemon", func(b *testing.B) {
+		s := New(Options{Workers: 1})
+		defer s.Close()
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			body := fmt.Sprintf(`{"scheme":"dnuca3d","benchmark":"mgrid","warm_cycles":%d,"measure_cycles":%d,"no_samples":true,"seed":%d}`,
+				benchWarm, benchMeasure, uint64(i)+1)
+			resp, err := http.Post(ts.URL+"/jobs?wait=1", "application/json", strings.NewReader(body))
+			if err != nil {
+				b.Fatalf("submit: %v", err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("submit: status %d", resp.StatusCode)
+			}
+			if hit := resp.Header.Get("X-Cache"); hit != "miss" {
+				b.Fatalf("iteration %d was X-Cache %q, want miss (seed not defeating cache?)", i, hit)
+			}
+			resp.Body.Close()
+		}
+	})
+}

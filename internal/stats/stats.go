@@ -272,6 +272,29 @@ func (s *Set) Register(name string, c *Counter) { s.counters[name] = c }
 // deltas use. A *Counter registered under the same name wins.
 func (s *Set) RegisterFunc(name string, fn func() uint64) { s.funcs[name] = fn }
 
+// NameValue is one counter's name and value, the element of a Snapshot.
+type NameValue struct {
+	Name  string
+	Value uint64
+}
+
+// Snapshot evaluates every counter (owned and derived) and returns the
+// values as a self-contained slice in sorted name order. The counters
+// themselves are not synchronized — Snapshot must be called from the
+// goroutine that owns them (for a simulation, the goroutine stepping the
+// engine) — but the returned slice shares no memory with the set, so it
+// is safe to publish to other goroutines; this is how the serving tier
+// exposes a running job's counters on /metrics without racing the
+// simulator's hot-path increments.
+func (s *Set) Snapshot() []NameValue {
+	names := s.Names()
+	snap := make([]NameValue, len(names))
+	for i, n := range names {
+		snap[i] = NameValue{Name: n, Value: s.Value(n)}
+	}
+	return snap
+}
+
 // Value returns the value of the named counter, or 0 if absent.
 func (s *Set) Value(name string) uint64 {
 	if c, ok := s.counters[name]; ok {

@@ -282,3 +282,34 @@ func TestSetRegister(t *testing.T) {
 		t.Fatalf("Names = %v", names)
 	}
 }
+
+func TestSetSnapshot(t *testing.T) {
+	s := NewSet()
+	s.Counter("b").Add(2)
+	s.Counter("a").Add(1)
+	derived := uint64(7)
+	s.RegisterFunc("c", func() uint64 { return derived })
+
+	snap := s.Snapshot()
+	want := []NameValue{{"a", 1}, {"b", 2}, {"c", 7}}
+	if len(snap) != len(want) {
+		t.Fatalf("snapshot has %d entries, want %d", len(snap), len(want))
+	}
+	for i, nv := range want {
+		if snap[i] != nv {
+			t.Errorf("snapshot[%d] = %+v, want %+v", i, snap[i], nv)
+		}
+	}
+
+	// The snapshot is a copy: later counter movement must not show
+	// through it (the serving tier hands snapshots across goroutines).
+	s.Counter("a").Add(10)
+	derived = 100
+	if snap[0].Value != 1 || snap[2].Value != 7 {
+		t.Fatalf("snapshot mutated by later counter updates: %+v", snap)
+	}
+
+	if empty := NewSet().Snapshot(); len(empty) != 0 {
+		t.Fatalf("empty set snapshot = %+v, want empty", empty)
+	}
+}

@@ -8,6 +8,8 @@
 #   BenchmarkEventQueue/*         — engine event queue: legacy heap vs wheel
 #   BenchmarkDTMOverhead/*        — thermal-management loop: detached vs
 #                                   disabled controller vs all actuators
+#   BenchmarkServeOverhead/*      — serving tax: direct runner.Run vs a
+#                                   daemon POST ?wait=1 round-trip
 #
 # Usage: scripts/bench.sh                          (2s per benchmark)
 #        BENCHTIME=5s scripts/bench.sh
@@ -45,11 +47,11 @@ if [ "${1:-}" = "--compare" ]; then
 	fi
 fi
 
-pattern='BenchmarkSimulatorThroughput$|BenchmarkEventQueue|BenchmarkDTMOverhead'
+pattern='BenchmarkSimulatorThroughput$|BenchmarkEventQueue|BenchmarkDTMOverhead|BenchmarkServeOverhead'
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
-for pkg in . ./internal/sim; do
+for pkg in . ./internal/sim ./internal/serve; do
 	go test -run '^$' -bench "$pattern" -benchmem \
 		-benchtime "${BENCHTIME:-2s}" "$pkg"
 done | tee "$raw"

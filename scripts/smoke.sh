@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Black-box smoke test of the serving daemon: build nimsimd, start it on
+# a local port, wait for /healthz, submit a tiny job with ?wait=1 and
+# assert it completes, scrape /metrics for the completion counter, then
+# resubmit the identical body and assert the result cache answered
+# (X-Cache: hit). Exercises the full binary + listener path that the
+# in-process httptest suite cannot.
+#
+# Usage: scripts/smoke.sh [port]   (default 18080)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT="${1:-18080}"
+ADDR="127.0.0.1:${PORT}"
+BODY='{"scheme":"dnuca3d","benchmark":"mgrid","warm_cycles":1000,"measure_cycles":5000,"sample_interval":500}'
+
+echo "smoke: building nimsimd"
+go build -o /tmp/nimsimd-smoke ./cmd/nimsimd
+
+/tmp/nimsimd-smoke -addr "$ADDR" -workers 1 &
+DAEMON=$!
+trap 'kill "$DAEMON" 2>/dev/null || true' EXIT
+
+echo "smoke: waiting for /healthz on $ADDR"
+for i in $(seq 1 50); do
+  if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then break; fi
+  if [ "$i" -eq 50 ]; then echo "smoke: daemon never became healthy" >&2; exit 1; fi
+  sleep 0.1
+done
+
+echo "smoke: submitting tiny job (?wait=1)"
+FIRST=$(curl -fsS -X POST "http://$ADDR/jobs?wait=1" -d "$BODY")
+echo "$FIRST" | grep -q '"state": *"done"' || {
+  echo "smoke: job did not reach done: $FIRST" >&2; exit 1; }
+echo "$FIRST" | grep -q '"results": *{' || {
+  echo "smoke: done job carried no results: $FIRST" >&2; exit 1; }
+
+echo "smoke: scraping /metrics"
+METRICS=$(curl -fsS "http://$ADDR/metrics")
+echo "$METRICS" | grep -q '^nimsim_jobs_completed_total 1$' || {
+  echo "smoke: expected nimsim_jobs_completed_total 1" >&2
+  echo "$METRICS" | grep '^nimsim_' >&2; exit 1; }
+
+echo "smoke: resubmitting identical body, expecting cache hit"
+HEADERS=$(curl -fsS -D - -o /tmp/nimsimd-smoke-second.json -X POST "http://$ADDR/jobs" -d "$BODY")
+echo "$HEADERS" | grep -qi '^x-cache: hit' || {
+  echo "smoke: second submit was not a cache hit:" >&2
+  echo "$HEADERS" >&2; exit 1; }
+
+kill "$DAEMON"
+wait "$DAEMON" 2>/dev/null || true
+trap - EXIT
+echo "smoke: ok"
