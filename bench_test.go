@@ -498,19 +498,43 @@ func BenchmarkTracingOverhead(b *testing.B) {
 	})
 }
 
+// BenchmarkSimulatorThroughput reports simulated cycles per wall-clock
+// second. The "serial" case is the historical default 3D system and the
+// regression gate's anchor (scripts/bench.sh holds it within 10% of the
+// committed baseline). The "stacked" case is the four-layer stacked-CPU
+// machine — the config the -shards flag targets — run serially, and
+// "shards-2"/"shards-4" run the same machine with its network phase
+// fanned out over layer-shard goroutines; comparing their ns/op against
+// "stacked" gives the intra-run speedup (bench.sh prints it). Shard
+// counts beyond GOMAXPROCS still measure correctly — the goroutines just
+// time-slice — so the entries are meaningful even on small machines,
+// merely flat.
 func BenchmarkSimulatorThroughput(b *testing.B) {
-	// Simulated cycles per wall-clock second for the default 3D system.
-	cfg := nim.DefaultConfig(nim.CMPDNUCA3D)
-	bench, _ := nim.BenchmarkByName("mgrid", cfg.NumCPUs)
-	sim, err := nim.NewSimulation(cfg, bench, 1)
-	if err != nil {
-		b.Fatal(err)
+	run := func(b *testing.B, stacked bool, shards int) {
+		cfg := nim.DefaultConfig(nim.CMPDNUCA3D)
+		if stacked {
+			cfg.Layers = 4
+			cfg.StackCPUs = true
+		}
+		bench, _ := nim.BenchmarkByName("mgrid", cfg.NumCPUs)
+		sim, err := nim.NewSimulation(cfg, bench, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer sim.Close()
+		if shards > 1 {
+			sim.SetShards(shards)
+		}
+		sim.Warm()
+		sim.Start()
+		b.ResetTimer()
+		sim.Run(uint64(b.N))
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cycles/sec")
 	}
-	sim.Warm()
-	sim.Start()
-	b.ResetTimer()
-	sim.Run(uint64(b.N))
-	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cycles/sec")
+	b.Run("serial", func(b *testing.B) { run(b, false, 1) })
+	b.Run("stacked", func(b *testing.B) { run(b, true, 1) })
+	b.Run("shards-2", func(b *testing.B) { run(b, true, 2) })
+	b.Run("shards-4", func(b *testing.B) { run(b, true, 4) })
 }
 
 func BenchmarkThermalSolver(b *testing.B) {

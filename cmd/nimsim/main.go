@@ -57,6 +57,7 @@ func main() {
 		dtmPol   = flag.String("dtm", "", "dynamic thermal management policy: none, all, or a comma list of veto, drowsy, duty, reroute (implies -thermal)")
 		trip     = flag.Float64("trip", 0, "DTM trip temperature in C (0 = the 85 C default)")
 		duty     = flag.String("duty", "", "DTM duty-cycle pattern N/M: a hot core issues on N of every M slots (default 1/4)")
+		shards   = flag.Int("shards", 1, "run the network phase sharded across this many layer goroutines (results are bit-identical to -shards 1; a -trace run falls back to serial)")
 		pprof    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		srvAddr  = flag.String("serve", "", "run as the telemetry daemon on this address instead of a one-shot simulation (POST /jobs, SSE streams, /metrics, /healthz)")
 	)
@@ -102,6 +103,12 @@ func main() {
 	sim, err := buildSimulation(cfg, *bench, *mix, *traceIn, *seed)
 	if err != nil {
 		fatalf("%v", err)
+	}
+	defer sim.Close()
+	if *shards > 1 {
+		// Purely a wall-clock knob: results are bit-identical to serial.
+		// An attached tracer (below) forces the serial path automatically.
+		sim.SetShards(*shards)
 	}
 	// The span recorder attaches before the settle window so transactions
 	// in flight across the stats reset carry ledgers; ResetStats resets its

@@ -114,7 +114,9 @@ func (s *System) WriteThermalMap(w io.Writer) error {
 }
 
 // refreshProbe rebuilds the probe from the attached tracer and thermal
-// sinks (either, both teed, or detached).
+// sinks (either, both teed, or detached), then reconciles sharding: an
+// attached tracer forces the serial path (global cycle order), and
+// detaching it restores the requested shard count.
 func (s *System) refreshProbe() {
 	var sink obs.Sink
 	if s.thermalT != nil {
@@ -122,6 +124,7 @@ func (s *System) refreshProbe() {
 	}
 	sink = obs.Tee(s.traceSink, sink)
 	s.AttachProbe(obs.NewProbe(sink))
+	s.applySharding()
 }
 
 // AttachSpans attaches a transaction span recorder: from now on every L2

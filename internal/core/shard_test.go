@@ -1,0 +1,157 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// shardedRun builds the machine for one scheme, warms it, and measures a
+// window with the full attachment surface the determinism contract
+// covers: thermal, DTM with every actuator enabled (trip lowered so the
+// controller actually engages inside the window), and an interval
+// sampler whose odd period makes samples straddle horizon barriers.
+// shards <= 1 runs the historical serial path. Returns the Results, the
+// sampler's CSV time series, and the number of fabric ticks that fanned
+// out to shard workers.
+func shardedRun(t *testing.T, scheme config.Scheme, shards int) (Results, []byte, uint64) {
+	t.Helper()
+	cfg := config.Default(scheme)
+	if scheme.Is3D() {
+		// The stacked four-layer machine: the config the -shards flag is
+		// for, and the hottest placement, so DTM actuators fire.
+		cfg.Layers = 4
+		cfg.StackCPUs = true
+	}
+	cfg.DTMPolicy = "all"
+	cfg.TripTempC = 70
+	prof, ok := trace.ProfileByName("mgrid", cfg.NumCPUs)
+	if !ok {
+		t.Fatal("profile missing")
+	}
+	s, err := NewSystem(cfg, prof, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if shards > 1 {
+		s.SetShards(shards)
+	}
+	s.Warm(11)
+	s.Start()
+	s.Run(5_000)
+	s.ResetStats()
+	if _, err := s.AttachDTM(1_000); err != nil {
+		t.Fatal(err)
+	}
+	sm := s.AttachSampler(777)
+	s.Run(30_000)
+	res := s.Results()
+	var series bytes.Buffer
+	if err := sm.Series().WriteCSV(&series); err != nil {
+		t.Fatal(err)
+	}
+	return res, series.Bytes(), s.Fab.ShardedCycles()
+}
+
+// TestShardedDeterminism pins the sharding contract: a sharded run is
+// byte-identical to the serial run — same marshaled Results, same sampler
+// time series — for every scheme, with thermal, DTM, and sampling
+// attached. For the 3D schemes it also proves the parallel path actually
+// engaged (the 2D schemes have one layer and must fall back cleanly).
+// Run under -race at several -cpu widths in CI.
+func TestShardedDeterminism(t *testing.T) {
+	schemes := []config.Scheme{
+		config.CMPDNUCA, config.CMPDNUCA2D, config.CMPSNUCA3D, config.CMPDNUCA3D,
+	}
+	for _, scheme := range schemes {
+		scheme := scheme
+		t.Run(scheme.String(), func(t *testing.T) {
+			serialRes, serialSeries, fanned := shardedRun(t, scheme, 1)
+			if fanned != 0 {
+				t.Fatalf("serial run fanned out %d cycles", fanned)
+			}
+			serialJSON, err := json.Marshal(serialRes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, shards := range []int{2, 4} {
+				res, series, fanned := shardedRun(t, scheme, shards)
+				gotJSON, err := json.Marshal(res)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(serialJSON, gotJSON) {
+					t.Fatalf("shards=%d diverged from serial:\nserial  %s\nsharded %s",
+						shards, serialJSON, gotJSON)
+				}
+				if !bytes.Equal(serialSeries, series) {
+					t.Fatalf("shards=%d sampler series diverged from serial:\nserial:\n%s\nsharded:\n%s",
+						shards, serialSeries, series)
+				}
+				if scheme.Is3D() && fanned == 0 {
+					t.Fatalf("shards=%d never fanned out: the parallel path was not exercised", shards)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedFallbacks pins the automatic serial fallbacks: a tracer
+// forces the serial path while attached (global cycle order) and
+// detaching it restores the requested shard count; the VerticalRouter
+// ablation and single-layer chips never shard at all.
+func TestShardedFallbacks(t *testing.T) {
+	prof, ok := trace.ProfileByName("mgrid", 8)
+	if !ok {
+		t.Fatal("profile missing")
+	}
+
+	cfg := config.Default(config.CMPDNUCA3D)
+	cfg.Layers = 4
+	s, err := NewSystem(cfg, prof, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.SetShards(4); got != 4 {
+		t.Fatalf("SetShards(4) = %d on a 4-layer chip", got)
+	}
+	if got := s.SetShards(8); got != 4 {
+		t.Fatalf("SetShards(8) = %d, want clamp to 4 layers", got)
+	}
+	ring := obs.NewRingSink(64)
+	s.AttachTracer(ring)
+	if got := s.Shards(); got != 1 {
+		t.Fatalf("Shards() = %d with a tracer attached, want serial fallback", got)
+	}
+	s.AttachTracer(nil)
+	if got := s.Shards(); got != 4 {
+		t.Fatalf("Shards() = %d after tracer detach, want 4 restored", got)
+	}
+
+	vcfg := config.Default(config.CMPDNUCA3D)
+	vcfg.Layers = 4
+	vcfg.VerticalNoC = true
+	vs, err := NewSystem(vcfg, prof, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vs.Close()
+	if got := vs.SetShards(4); got != 1 {
+		t.Fatalf("SetShards(4) = %d in the VerticalNoC ablation, want 1", got)
+	}
+
+	flat, err := NewSystem(config.Default(config.CMPDNUCA2D), prof, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer flat.Close()
+	if got := flat.SetShards(4); got != 1 {
+		t.Fatalf("SetShards(4) = %d on a single-layer chip, want 1", got)
+	}
+}

@@ -1,0 +1,311 @@
+package fabric
+
+// Spatial domain decomposition of the fabric tick. The chip's natural
+// seams are its device layers: each layer is a self-contained 2D mesh,
+// and the only paths between layers are the dTDMA pillar buses. One shard
+// owns a contiguous block of layers; the per-cycle router phase fans out
+// to one goroutine per shard, and everything that crosses shards or needs
+// a global order is *staged* into per-shard logs and replayed serially at
+// the horizon barrier, in exactly the order the serial tick would have
+// produced it. The bus phase (the inter-shard edges) always runs serially
+// after the barrier. The lookahead L is one bus slot, so the barrier is
+// per-cycle — see sim.ShardGroup for the derivation, and DESIGN.md §15
+// for the full bit-identical-determinism argument.
+
+import (
+	"fmt"
+
+	"repro/internal/noc"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// shardMinActive is the active-router count below which a sharded fabric
+// ticks serially anyway: the barrier handshake costs more than ticking a
+// handful of routers inline. Switching per cycle is safe because the two
+// paths are observationally identical — that equivalence is the
+// determinism contract itself.
+const shardMinActive = 8
+
+// opKind tags one entry of a shard's staged-effect log.
+type opKind uint8
+
+const (
+	opEvent    opKind = iota // probe event emitted by a router
+	opEject                  // packet ejection (delivery callback still to run)
+	opActivate               // idle-to-busy router transition
+)
+
+// stagedOp is one globally-ordered side effect captured during the
+// parallel router phase. pos is the emitting router's position in this
+// cycle's active-list snapshot — the serial tick's execution order — so a
+// k-way merge by pos replays effects exactly as the serial fabric
+// interleaves them.
+type stagedOp struct {
+	pos  int
+	kind opKind
+	idx  int         // opEject/opActivate: router index
+	ev   obs.Event   // opEvent
+	pkt  *noc.Packet // opEject
+}
+
+// shardLog is one shard's staged-effect log plus its replay cursor. The
+// trailing pad keeps concurrently-appending logs off one another's cache
+// lines.
+type shardLog struct {
+	ops    []stagedOp
+	curPos int // snapshot position of the router currently ticking
+	next   int // replay cursor
+	_      [64]byte
+}
+
+// shardState is the sharded-execution machinery: the layer-to-shard map,
+// a persistent worker group, per-shard staged-effect logs, and per-shard
+// staging probes that stand in for the real probe during the parallel
+// phase.
+type shardState struct {
+	n        int
+	shardOf  []int // layer -> shard (contiguous blocks)
+	logs     []shardLog
+	probes   []*obs.Probe
+	group    *sim.ShardGroup
+	inPhase  bool
+	cycle    uint64
+	snapshot int
+}
+
+// stagingSink redirects a shard's router probe events into its staged log
+// during the parallel phase. Outside the phase (the small-cycle serial
+// path keeps the staging probes installed) events pass straight through
+// to the real probe.
+type stagingSink struct {
+	f   *Fabric
+	idx int
+}
+
+func (s *stagingSink) Record(e obs.Event) {
+	if st := s.f.shard; st != nil && st.inPhase {
+		lg := &st.logs[s.idx]
+		lg.ops = append(lg.ops, stagedOp{pos: lg.curPos, kind: opEvent, ev: e})
+		return
+	}
+	if s.f.probe != nil {
+		s.f.probe.Emit(e)
+	}
+}
+
+// SetShards configures parallel execution of the router phase across n
+// layer shards and returns the effective count. n is clamped to the layer
+// count; values below 2, the VerticalRouter ablation (whose inter-layer
+// router links break layer isolation), and single-layer chips all fall
+// back to the serial path (returning 1), leaving it untouched. A sharded
+// run is bit-identical to a serial run — same Results, same event
+// sequence under any probe — so this is purely a wall-clock knob; the
+// contract is pinned by TestShardedDeterminism.
+func (f *Fabric) SetShards(n int) int {
+	if n > f.dim.Layers {
+		n = f.dim.Layers
+	}
+	if n < 2 || f.mode != VerticalBus {
+		f.closeShards()
+		return 1
+	}
+	if f.shard != nil && f.shard.n == n {
+		return n
+	}
+	f.closeShards()
+	st := &shardState{
+		n:       n,
+		shardOf: make([]int, f.dim.Layers),
+		logs:    make([]shardLog, n),
+		probes:  make([]*obs.Probe, n),
+	}
+	for l := 0; l < f.dim.Layers; l++ {
+		st.shardOf[l] = l * n / f.dim.Layers
+	}
+	labels := make([]string, n)
+	tasks := make([]func(), n)
+	for s := 0; s < n; s++ {
+		st.probes[s] = obs.NewProbe(&stagingSink{f: f, idx: s})
+		lo, hi := -1, -1
+		for l := 0; l < f.dim.Layers; l++ {
+			if st.shardOf[l] == s {
+				if lo < 0 {
+					lo = l
+				}
+				hi = l
+			}
+		}
+		if lo == hi {
+			labels[s] = fmt.Sprintf("layer-%d", lo)
+		} else {
+			labels[s] = fmt.Sprintf("layers-%d-%d", lo, hi)
+		}
+		s := s
+		tasks[s] = func() { f.shardTick(s) }
+	}
+	f.shard = st
+	st.group = sim.NewShardGroup(labels, tasks)
+	for _, r := range f.routers {
+		r.SetAtomicHops(true)
+	}
+	f.refreshRouterProbes()
+	return n
+}
+
+// Shards returns the effective shard count (1 when serial).
+func (f *Fabric) Shards() int {
+	if f.shard == nil {
+		return 1
+	}
+	return f.shard.n
+}
+
+// ShardedCycles returns the number of ticks that actually fanned out to
+// the shard workers (busy cycles; cycles under the shardMinActive
+// threshold tick serially even with sharding enabled). Tests use it to
+// prove the parallel path engaged rather than silently falling back.
+func (f *Fabric) ShardedCycles() uint64 { return f.shardedCycles }
+
+// Close releases the shard worker goroutines and reverts to serial
+// ticking. No-op on a serial fabric; idempotent.
+func (f *Fabric) Close() { f.closeShards() }
+
+func (f *Fabric) closeShards() {
+	if f.shard == nil {
+		return
+	}
+	f.shard.group.Close()
+	f.shard = nil
+	for _, r := range f.routers {
+		r.SetAtomicHops(false)
+	}
+	f.refreshRouterProbes()
+}
+
+// refreshRouterProbes points every router at the probe it should emit
+// into: its shard's staging probe while sharding is enabled and a real
+// probe is attached, the real probe otherwise. Buses always emit into the
+// real probe — they tick in the serial phase.
+func (f *Fabric) refreshRouterProbes() {
+	for i, r := range f.routers {
+		if st := f.shard; st != nil && f.probe != nil {
+			r.SetProbe(st.probes[st.shardOf[f.layerOf[i]]])
+		} else {
+			r.SetProbe(f.probe)
+		}
+	}
+}
+
+// stagingLog returns the staged-effect log for the given layer while the
+// parallel router phase is running, nil otherwise.
+func (f *Fabric) stagingLog(layer int) *shardLog {
+	st := f.shard
+	if st == nil || !st.inPhase {
+		return nil
+	}
+	return &st.logs[st.shardOf[layer]]
+}
+
+// noteWork handles a router's idle-to-busy transition: staged during the
+// parallel phase (so the activation joins the global replay order),
+// applied directly otherwise.
+func (f *Fabric) noteWork(i int) {
+	if lg := f.stagingLog(f.layerOf[i]); lg != nil {
+		lg.ops = append(lg.ops, stagedOp{pos: lg.curPos, kind: opActivate, idx: i})
+		return
+	}
+	f.activate(i)
+}
+
+// shardTick is shard s's slice of the parallel router phase: tick every
+// active router belonging to the shard's layers, in snapshot order,
+// stamping the snapshot position before each tick so staged effects carry
+// their serial execution order.
+func (f *Fabric) shardTick(s int) {
+	st := f.shard
+	lg := &st.logs[s]
+	cycle := st.cycle
+	for k := 0; k < st.snapshot; k++ {
+		i := f.activeList[k]
+		if st.shardOf[f.layerOf[i]] != s {
+			continue
+		}
+		lg.curPos = k
+		f.routers[i].Tick(cycle)
+	}
+}
+
+// tickSharded is the parallel fabric tick: the router phase fans out to
+// the shard workers with every globally-ordered side effect staged, the
+// staged effects replay serially in snapshot order at the barrier, and
+// the buses (the only inter-shard edges) tick serially after them,
+// exactly as in the serial tick.
+func (f *Fabric) tickSharded(cycle uint64) {
+	st := f.shard
+	f.shardedCycles++
+	st.cycle = cycle
+	st.snapshot = len(f.activeList)
+	for i := range st.logs {
+		lg := &st.logs[i]
+		clear(lg.ops) // drop packet references from the previous cycle
+		lg.ops = lg.ops[:0]
+		lg.next = 0
+	}
+	for _, b := range f.buses {
+		b.BeginDeferredPending()
+	}
+	st.inPhase = true
+	st.group.Cycle()
+	st.inPhase = false
+	for _, b := range f.buses {
+		b.EndDeferredPending()
+	}
+	f.replayStaged(cycle)
+	for _, b := range f.buses {
+		b.Tick(cycle)
+	}
+	f.pruneActive()
+}
+
+// replayStaged merges the shard logs by snapshot position and applies the
+// staged effects in that order — the order the serial tick produces them.
+// Each position belongs to exactly one shard (a router ticks once) and
+// positions are strictly increasing within a log, so the merge is a
+// deterministic k-way minimum scan. Ejection replay runs the full
+// delivery epilogue, so the protocol's synchronous responses — packet-ID
+// assignment, injections, engine event scheduling — also happen in serial
+// order; deferring them past the barrier is sound because every
+// synchronous send beneath a delivery re-injects at the delivering node's
+// own router (see core.System.deliver), never touching another router's
+// same-cycle state.
+func (f *Fabric) replayStaged(cycle uint64) {
+	st := f.shard
+	for {
+		best, bestPos := -1, int(^uint(0)>>1)
+		for s := range st.logs {
+			lg := &st.logs[s]
+			if lg.next < len(lg.ops) && lg.ops[lg.next].pos < bestPos {
+				best, bestPos = s, lg.ops[lg.next].pos
+			}
+		}
+		if best < 0 {
+			return
+		}
+		lg := &st.logs[best]
+		for lg.next < len(lg.ops) && lg.ops[lg.next].pos == bestPos {
+			op := &lg.ops[lg.next]
+			lg.next++
+			switch op.kind {
+			case opEvent:
+				if f.probe != nil {
+					f.probe.Emit(op.ev)
+				}
+			case opEject:
+				f.finishEject(op.idx, op.pkt, cycle)
+			case opActivate:
+				f.activate(op.idx)
+			}
+		}
+	}
+}

@@ -49,6 +49,16 @@ type Job struct {
 	// Results.DTM carries the management report. DTM needs the thermal
 	// loop, so a DTM-active job with a zero ThermalInterval fails.
 	ThermalInterval uint64
+	// Shards, when > 1, runs the simulation's network phase sharded
+	// across that many layer goroutines (core.System.SetShards). A
+	// sharded run is bit-identical to a serial one — same Results, same
+	// samples — so this is purely a wall-clock knob for the latency of a
+	// single job; it composes multiplicatively with Pool.Workers, so
+	// callers sweeping many jobs should keep Workers x Shards within the
+	// machine's core count. Values <= 1, single-layer configs, and the
+	// VerticalNoC ablation run the historical serial path.
+	Shards int
+
 	// RecordSpans attaches a transaction span recorder
 	// (core.System.AttachSpans), so Results.Breakdown carries the
 	// per-component latency decomposition of the measurement window. The
@@ -205,6 +215,10 @@ func runOne(i int, j Job) (res Result) {
 	if err != nil {
 		res.Err = err
 		return res
+	}
+	defer sys.Close()
+	if j.Shards > 1 {
+		sys.SetShards(j.Shards)
 	}
 	if j.RecordSpans {
 		// Before warm-up, so transactions in flight across ResetStats carry

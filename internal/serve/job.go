@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
@@ -49,6 +50,14 @@ type JobRequest struct {
 	NoSamples       bool   `json:"no_samples,omitempty"`
 	ThermalInterval uint64 `json:"thermal_interval,omitempty"`
 	RecordSpans     bool   `json:"record_spans,omitempty"`
+
+	// Shards, when > 1, runs the job's network phase sharded across that
+	// many layer goroutines (runner.Job.Shards). Results are bit-identical
+	// to a serial run, so this is a latency knob only — it never changes
+	// the job id, and a sharded submission can be answered from a serial
+	// run's cache entry (and vice versa). The server clamps the value so
+	// workers x shards stays within runtime.NumCPU().
+	Shards int `json:"shards,omitempty"`
 
 	// Config-building overrides (ignored when Config is given).
 	Layers    int     `json:"layers,omitempty"`
@@ -129,6 +138,18 @@ func (s *Server) buildJob(req JobRequest) (runner.Job, error) {
 			thermal = s.opts.DefaultSampleInterval
 		}
 	}
+	// Cap intra-job parallelism so the pool's effective concurrency —
+	// workers x shards — stays within the machine: each worker may fan a
+	// job out over at most NumCPU/Workers shard goroutines. A request for
+	// more is clamped, not rejected, because the result is bit-identical
+	// either way.
+	shards := req.Shards
+	if maxShards := runtime.NumCPU() / s.opts.Workers; shards > maxShards {
+		shards = maxShards
+	}
+	if shards < 1 {
+		shards = 1
+	}
 	return runner.Job{
 		Config:          cfg,
 		Benchmark:       bench,
@@ -137,6 +158,7 @@ func (s *Server) buildJob(req JobRequest) (runner.Job, error) {
 		Seed:            req.Seed,
 		SampleInterval:  sample,
 		ThermalInterval: thermal,
+		Shards:          shards,
 		RecordSpans:     req.RecordSpans,
 	}, nil
 }
@@ -145,6 +167,12 @@ func (s *Server) buildJob(req JobRequest) (runner.Job, error) {
 // deterministic run's observable output. Hashing its JSON encoding gives
 // the job id — identical submissions collapse onto one registry entry,
 // which is the whole caching and coalescing mechanism.
+//
+// Job.Shards is deliberately absent: the sharding contract
+// (core.System.SetShards) makes a sharded run bit-identical to a serial
+// one, so submissions differing only in shard count MUST collapse onto
+// the same entry — a serial run's cached results answer a sharded
+// request byte-for-byte, and vice versa.
 type jobIdentity struct {
 	ConfigHash      string `json:"config_hash"`
 	Benchmark       string `json:"benchmark"`

@@ -60,12 +60,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		id       string
 		state    string
 		fraction float64
+		shards   int
 		counters map[string]uint64
 	}
 	rows := make([]jobRow, 0, len(recs))
 	for _, rec := range recs {
 		rec.mu.Lock()
-		jr := jobRow{id: rec.id, state: rec.state, fraction: rec.fraction}
+		jr := jobRow{id: rec.id, state: rec.state, fraction: rec.fraction, shards: rec.run.Shards}
+		if jr.shards < 1 {
+			jr.shards = 1 // a zero-valued Shards runs the serial path
+		}
 		if len(rec.counters) > 0 {
 			jr.counters = make(map[string]uint64, len(rec.counters))
 			for _, nv := range rec.counters {
@@ -83,6 +87,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "# HELP nimsim_job_progress Completion fraction of each registered job.\n# TYPE nimsim_job_progress gauge\n")
 	for _, jr := range rows {
 		fmt.Fprintf(&b, "nimsim_job_progress{job=%q,state=%q} %g\n", jr.id, jr.state, jr.fraction)
+	}
+	fmt.Fprintf(&b, "# HELP nimsim_job_shards Layer-shard goroutines the job's network phase fans out over (1 = serial).\n# TYPE nimsim_job_shards gauge\n")
+	for _, jr := range rows {
+		fmt.Fprintf(&b, "nimsim_job_shards{job=%q} %d\n", jr.id, jr.shards)
 	}
 	fmt.Fprintf(&b, "# HELP nimsim_job_counter Per-job simulator counters (cumulative over the measurement window).\n# TYPE nimsim_job_counter counter\n")
 	for _, jr := range rows {

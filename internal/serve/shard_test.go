@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestShardedJobIdentity pins the cache contract for intra-job
+// parallelism: Shards is a latency knob, not an identity field, so
+// submissions differing only in shard count must hash to the same job id
+// and collapse onto one registry entry.
+func TestShardedJobIdentity(t *testing.T) {
+	s := New(Options{Workers: 1})
+	defer s.Close()
+	base := JobRequest{Scheme: "dnuca3d", Benchmark: "mgrid", Seed: 7}
+	ids := make(map[string]bool)
+	for _, shards := range []int{0, 1, 2, 4, 64} {
+		req := base
+		req.Shards = shards
+		job, err := s.buildJob(req)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		ids[jobID(job)] = true
+	}
+	if len(ids) != 1 {
+		t.Fatalf("shard counts produced %d distinct job ids, want 1", len(ids))
+	}
+}
+
+// TestShardedConcurrencyClamp pins the workers x shards <= NumCPU cap: a
+// request for more shards than the per-worker budget is clamped, never
+// rejected (the result is bit-identical either way).
+func TestShardedConcurrencyClamp(t *testing.T) {
+	ncpu := runtime.NumCPU()
+	for _, tc := range []struct{ workers, want, req int }{
+		{workers: 1, req: ncpu, want: ncpu},
+		{workers: 1, req: ncpu + 5, want: ncpu},
+		{workers: ncpu, req: 8, want: 1},
+		{workers: 1, req: 0, want: 1},
+	} {
+		s := New(Options{Workers: tc.workers})
+		job, err := s.buildJob(JobRequest{Scheme: "dnuca3d", Shards: tc.req})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if job.Shards != tc.want {
+			t.Errorf("workers=%d shards=%d: job.Shards = %d, want %d",
+				tc.workers, tc.req, job.Shards, tc.want)
+		}
+		s.Close()
+	}
+}
+
+// TestShardedSubmitCacheAndMetrics runs a sharded submission end to end:
+// the job completes, a serial resubmission is a cache hit (same id, same
+// bytes), and /metrics carries the per-job shard-count gauge.
+func TestShardedSubmitCacheAndMetrics(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 1})
+
+	body := `{
+		"scheme": "dnuca3d", "benchmark": "mgrid", "layers": 4, "stack_cpus": true,
+		"warm_cycles": 1000, "measure_cycles": 4000,
+		"sample_interval": 500, "seed": 9, "shards": 2
+	}`
+	resp, out := post(t, ts.URL+"/jobs?wait=1", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /jobs?wait=1 = %d: %s", resp.StatusCode, out)
+	}
+
+	serial := strings.Replace(body, `"shards": 2`, `"shards": 1`, 1)
+	resp2, out2 := post(t, ts.URL+"/jobs", serial)
+	if resp2.StatusCode != http.StatusOK || resp2.Header.Get("X-Cache") != "hit" {
+		t.Fatalf("serial resubmission: status %d, X-Cache %q, want 200 hit: %s",
+			resp2.StatusCode, resp2.Header.Get("X-Cache"), out2)
+	}
+
+	wantShards := runtime.NumCPU() / s.opts.Workers
+	if wantShards < 1 {
+		wantShards = 1
+	}
+	if wantShards > 2 {
+		wantShards = 2
+	}
+	_, metrics := get(t, ts.URL+"/metrics")
+	s.mu.Lock()
+	var gotShards int
+	for _, rec := range s.jobs {
+		gotShards = rec.run.Shards
+	}
+	s.mu.Unlock()
+	if gotShards != wantShards {
+		t.Fatalf("registered job Shards = %d, want %d (NumCPU=%d, workers=1, requested 2)",
+			gotShards, wantShards, runtime.NumCPU())
+	}
+	line := fmt.Sprintf("} %d\n", wantShards)
+	if !strings.Contains(string(metrics), "nimsim_job_shards{job=") ||
+		!strings.Contains(string(metrics), line) {
+		t.Fatalf("/metrics nimsim_job_shards line missing value %d:\n%s", wantShards, metrics)
+	}
+}

@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"context"
+	"runtime/pprof"
+)
+
+// ShardGroup runs a fixed set of shard tasks in lockstep rounds on
+// persistent worker goroutines — the execution primitive behind the
+// fabric's spatial domain decomposition (fabric.Fabric.SetShards).
+//
+// The synchronization model is classic conservative-lookahead PDES: a
+// shard may advance to min(neighbor horizons) + L, where L is the minimum
+// cross-shard latency. In this simulator the shards are device layers and
+// the only cross-shard edges are the dTDMA pillar buses, whose minimum
+// crossing time is one bus slot — L = 1 cycle — so the lookahead window
+// degenerates to lockstep: every shard advances exactly one cycle per
+// round and Cycle is the horizon barrier. The primitive therefore exposes
+// a per-round barrier rather than per-shard horizon clocks; a larger L
+// would let shards run L cycles between barriers, but the dTDMA slot
+// wheel re-arbitrates every cycle, so L is structurally 1 here.
+//
+// Each worker is labeled via runtime/pprof.Do ("shard" label key), so CPU
+// profiles attribute time per shard and cross-layer load imbalance is
+// visible in -pprof output.
+//
+// Cycle provides happens-before edges both ways (the start-channel sends
+// publish the caller's writes to the workers, the done-channel receives
+// publish the workers' writes back), so tasks may freely write
+// shard-local state between rounds without further synchronization.
+type ShardGroup struct {
+	start  []chan struct{}
+	done   chan struct{}
+	closed bool
+}
+
+// NewShardGroup spawns one labeled worker per task; labels[i] names
+// tasks[i] in pprof profiles. The workers idle until Cycle.
+func NewShardGroup(labels []string, tasks []func()) *ShardGroup {
+	if len(labels) != len(tasks) {
+		panic("sim: ShardGroup labels/tasks length mismatch")
+	}
+	g := &ShardGroup{done: make(chan struct{}, len(tasks))}
+	for i := range tasks {
+		ch := make(chan struct{}, 1)
+		g.start = append(g.start, ch)
+		go g.worker(labels[i], tasks[i], ch)
+	}
+	return g
+}
+
+func (g *ShardGroup) worker(label string, task func(), start <-chan struct{}) {
+	pprof.Do(context.Background(), pprof.Labels("shard", label), func(context.Context) {
+		for range start {
+			task()
+			g.done <- struct{}{}
+		}
+	})
+}
+
+// Cycle runs every task once and returns when all have finished — one
+// lookahead window (one simulated cycle, since L = 1). The channel
+// handshake is the barrier.
+func (g *ShardGroup) Cycle() {
+	for _, ch := range g.start {
+		ch <- struct{}{}
+	}
+	for range g.start {
+		<-g.done
+	}
+}
+
+// Close terminates the workers; the group must not be cycled afterwards.
+// Idempotent.
+func (g *ShardGroup) Close() {
+	if g.closed {
+		return
+	}
+	g.closed = true
+	for _, ch := range g.start {
+		close(ch)
+	}
+}

@@ -177,6 +177,26 @@ func (s *Simulation) WarmAddresses(addrs []LineAddr) { s.sys.WarmAddresses(addrs
 // (the paper's 500M-cycle warm-up, compressed; see internal/core.Warm).
 func (s *Simulation) Warm() { s.sys.Warm(s.seed) }
 
+// SetShards requests spatial domain decomposition of the network phase
+// across n shards — one goroutine per contiguous block of device layers,
+// joined only by the dTDMA pillar buses — and returns the shard count
+// actually in force. A sharded run is bit-identical to a serial run
+// (same Results, same trace/sample/thermal output), for every scheme and
+// attachment, so sharding is purely a wall-clock knob for a single
+// simulation's latency. n is clamped to the layer count; single-layer
+// configs, the VerticalNoC ablation, and an attached tracer (which wants
+// the global cycle order observable) fall back to the serial path
+// automatically. Call Close when done with a sharded simulation to
+// release the worker goroutines.
+func (s *Simulation) SetShards(n int) int { return s.sys.SetShards(n) }
+
+// Shards returns the shard count currently in force (1 when serial).
+func (s *Simulation) Shards() int { return s.sys.Shards() }
+
+// Close releases the shard worker goroutines, if any. Safe on a
+// never-sharded simulation; idempotent.
+func (s *Simulation) Close() { s.sys.Close() }
+
 // Start begins execution on every core.
 func (s *Simulation) Start() { s.sys.Start() }
 

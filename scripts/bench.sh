@@ -4,12 +4,19 @@
 # snapshot is preserved; commit the file as the evidence for a perf PR).
 #
 # Captured benchmarks:
-#   BenchmarkSimulatorThroughput  — whole-system cycles/sec (the headline)
-#   BenchmarkEventQueue/*         — engine event queue: legacy heap vs wheel
-#   BenchmarkDTMOverhead/*        — thermal-management loop: detached vs
-#                                   disabled controller vs all actuators
-#   BenchmarkServeOverhead/*      — serving tax: direct runner.Run vs a
-#                                   daemon POST ?wait=1 round-trip
+#   BenchmarkSimulatorThroughput/* — whole-system cycles/sec: "serial" is
+#                                    the historical default machine (the
+#                                    headline and the regression gate's
+#                                    anchor); "stacked" the 4-layer
+#                                    stacked-CPU machine run serially;
+#                                    "shards-2"/"shards-4" the same machine
+#                                    with the network phase fanned out over
+#                                    layer-shard goroutines
+#   BenchmarkEventQueue/*          — engine event queue: legacy heap vs wheel
+#   BenchmarkDTMOverhead/*         — thermal-management loop: detached vs
+#                                    disabled controller vs all actuators
+#   BenchmarkServeOverhead/*       — serving tax: direct runner.Run vs a
+#                                    daemon POST ?wait=1 round-trip
 #
 # Usage: scripts/bench.sh                          (2s per benchmark)
 #        BENCHTIME=5s scripts/bench.sh
@@ -59,14 +66,19 @@ done | tee "$raw"
 n=1
 while [ -e "BENCH_${n}.json" ]; do n=$((n + 1)); done
 
-awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+# go test appends "-<GOMAXPROCS>" to benchmark names unless it is 1;
+# strip exactly that suffix, not any trailing "-<digits>" — sub-benchmark
+# names like shards-4 must survive (on a 1-CPU host there is no suffix
+# at all, and a blind strip would merge shards-2 and shards-4).
+procs="${GOMAXPROCS:-$(nproc)}"
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v procs="$procs" '
 BEGIN {
 	printf "{\n  \"generated\": \"%s\",\n  \"benchmarks\": {\n", date
 	sep = ""
 }
 /^Benchmark/ {
 	name = $1
-	sub(/-[0-9]+$/, "", name)
+	sub("-" procs "$", "", name)
 	printf "%s    \"%s\": {\"iterations\": %s", sep, name, $2
 	# Remaining fields are (value, unit) pairs: ns/op, custom metrics
 	# from ReportMetric, then -benchmem B/op and allocs/op.
@@ -80,19 +92,36 @@ END { printf "\n  }\n}\n" }
 
 echo "wrote BENCH_${n}.json"
 
+# The snapshots are this script's own output, one benchmark per line, so
+# field extraction by exact key is reliable.
+nsop() {
+	awk -F'[:,]' -v key="\"$2\"" '$0 ~ key {
+		for (i = 1; i < NF; i++)
+			if ($i ~ /"ns\/op"/) {
+				gsub(/[ }]/, "", $(i + 1)); print $(i + 1); exit
+			}
+	}' "$1"
+}
+
+# Serial-vs-sharded speedup on the stacked 4-layer machine, from this
+# run's own numbers (informational; GOMAXPROCS bounds what is reachable).
+stacked=$(nsop "BENCH_${n}.json" "BenchmarkSimulatorThroughput/stacked")
+sharded=$(nsop "BENCH_${n}.json" "BenchmarkSimulatorThroughput/shards-4")
+if [ -n "$stacked" ] && [ -n "$sharded" ]; then
+	awk -v s="$stacked" -v p="$sharded" -v ncpu="$(nproc 2>/dev/null || echo '?')" 'BEGIN {
+		printf "shard speedup: stacked %g ns/op -> shards-4 %g ns/op = %.2fx (on %s CPUs)\n",
+			s, p, s / p, ncpu
+	}'
+fi
+
 if [ -n "$compare" ]; then
-	# The snapshots are this script's own output, one benchmark per line,
-	# so field extraction by name is reliable.
-	nsop() {
-		awk -F'[:,]' '/"BenchmarkSimulatorThroughput"/ {
-			for (i = 1; i < NF; i++)
-				if ($i ~ /"ns\/op"/) {
-					gsub(/[ }]/, "", $(i + 1)); print $(i + 1); exit
-				}
-		}' "$1"
-	}
-	ref=$(nsop "$compare")
-	new=$(nsop "BENCH_${n}.json")
+	# Gate on the serial entry; snapshots before the sub-benchmark split
+	# stored it under the bare parent name.
+	ref=$(nsop "$compare" "BenchmarkSimulatorThroughput/serial")
+	if [ -z "$ref" ]; then
+		ref=$(nsop "$compare" "BenchmarkSimulatorThroughput")
+	fi
+	new=$(nsop "BENCH_${n}.json" "BenchmarkSimulatorThroughput/serial")
 	if [ -z "$ref" ] || [ -z "$new" ]; then
 		echo "bench.sh: SimulatorThroughput ns/op missing from snapshot" >&2
 		exit 2
