@@ -496,6 +496,12 @@ func BenchmarkTracingOverhead(b *testing.B) {
 	b.Run("thermal", func(b *testing.B) {
 		run(b, func(s *nim.Simulation) { s.AttachThermal(1_000) })
 	})
+	// The host profiler's full price: one clock read per event plus two
+	// per ticker. The disabled case above doubles as its zero-cost gate —
+	// an unattached run's only new work is a nil check in Engine.Step.
+	b.Run("profile", func(b *testing.B) {
+		run(b, func(s *nim.Simulation) { s.AttachProfile() })
+	})
 }
 
 // BenchmarkSimulatorThroughput reports simulated cycles per wall-clock

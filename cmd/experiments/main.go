@@ -42,6 +42,7 @@ func main() {
 		ablate   = flag.Bool("ablations", false, "run the design-choice ablations")
 		brkdown  = flag.Bool("breakdown", false, "run the L2 latency decomposition across the four schemes")
 		thermRun = flag.Bool("thermal", false, "run the transient thermal study across schemes and CPU placements")
+		profRun  = flag.Bool("profile", false, "run the host-side phase-dominance study (wall-clock, so host-dependent; excluded from -all)")
 		dtmRun   = flag.Bool("dtm", false, "run the dynamic-thermal-management policy matrix on the hot configurations")
 		table    = flag.Int("table", 0, "reproduce one table (1..5)")
 		figure   = flag.Int("figure", 0, "reproduce one figure (13..18)")
@@ -106,6 +107,12 @@ func main() {
 	}
 	if *scaling {
 		cpuScaling(opt)
+		ran = true
+	}
+	// Deliberately not part of -all: the numbers are wall-clock on this
+	// host, so including them would make -all's output machine-dependent.
+	if *profRun {
+		profileStudy(opt)
 		ran = true
 	}
 
@@ -742,6 +749,90 @@ func dtmStudy(opt nim.Options) {
 	}
 	writeCSV("dtm_matrix", csvRows)
 	fmt.Println("(duty-cycling sheds the cores' 8 W budgets and is the policy that cuts the\n peak; veto/drowsy/reroute buy latency headroom and leakage, not degrees)")
+}
+
+// profileStudy answers the question PR 8's benchmarks left open: is the
+// network phase (the part sharding parallelizes) actually where the host's
+// wall-clock goes, and how much of a sharded round is barrier wait? It runs
+// mgrid on CMP-DNUCA-3D — offset and CPU-stacked placements, serial and
+// sharded — with the host profiler attached and tabulates per-phase shares
+// of loop time plus the shard barrier-wait fraction. The numbers are
+// wall-clock on this host; the simulated Results stay bit-identical across
+// all four rows (the profiler observes the simulator, not the chip).
+func profileStudy(opt nim.Options) {
+	header("Host profile: phase dominance and shard barrier wait (mgrid, CMP-DNUCA-3D)")
+	// The stacked four-layer machine is the config the -shards flag is
+	// aimed at (and the one PR 8's benchmarks measured).
+	stacked := nim.DefaultConfig(nim.CMPDNUCA3D)
+	stacked.Layers = 4
+	stacked.StackCPUs = true
+	modes := []struct {
+		name   string
+		cfg    nim.Config
+		shards int
+	}{
+		{"offset serial", nim.DefaultConfig(nim.CMPDNUCA3D), 1},
+		{"stacked serial", stacked, 1},
+		{"stacked shards-2", stacked, 2},
+		{"stacked shards-4", stacked, 4},
+	}
+	fmt.Printf("%-18s %7s %8s %6s %7s %6s %7s %6s %9s\n",
+		"", "shards", "Mcyc/s", "cpu%", "proto%", "net%", "engine%", "rest%", "barrier%")
+	csvRows := [][]string{{"mode", "shards", "mcycles_per_sec", "cpu_share", "protocol_share",
+		"net_share", "engine_share", "rest_share", "barrier_wait_frac"}}
+	for _, m := range modes {
+		bench, ok := nim.BenchmarkByName("mgrid", m.cfg.NumCPUs)
+		if !ok {
+			fatal(fmt.Errorf("benchmark mgrid not found"))
+		}
+		s, err := nim.NewSimulation(m.cfg, bench, opt.Seed)
+		if err != nil {
+			fatal(err)
+		}
+		s.Warm()
+		got := s.SetShards(m.shards)
+		if got != m.shards {
+			fatal(fmt.Errorf("%s: wanted %d shards, got %d", m.name, m.shards, got))
+		}
+		rec := s.AttachProfile()
+		_ = rec
+		s.Start()
+		s.Run(opt.WarmCycles)
+		s.ResetStats()
+		s.Run(opt.MeasureCycles)
+		r := s.Results()
+		s.Close()
+		if r.Profile == nil {
+			fatal(fmt.Errorf("%s: no profile attached", m.name))
+		}
+		share := func(names ...string) float64 {
+			var sum float64
+			for _, ph := range r.Profile.Phases {
+				for _, n := range names {
+					if ph.Phase == n {
+						sum += ph.Share
+					}
+				}
+			}
+			return sum
+		}
+		cpu := share("cpu")
+		proto := share("protocol")
+		net := share("net-serial", "net-sharded")
+		engine := share("engine")
+		rest := share("thermal", "sampler", "other")
+		barrier := 0.0
+		if r.Profile.Shards != nil {
+			barrier = r.Profile.Shards.BarrierWaitFrac
+		}
+		fmt.Printf("%-18s %7d %8.2f %5.1f%% %6.1f%% %5.1f%% %6.1f%% %5.1f%% %8.1f%%\n",
+			m.name, got, r.Profile.CyclesPerSec/1e6,
+			100*cpu, 100*proto, 100*net, 100*engine, 100*rest, 100*barrier)
+		csvRows = append(csvRows, []string{m.name, strconv.Itoa(got),
+			f1(r.Profile.CyclesPerSec / 1e6), f1(cpu), f1(proto), f1(net), f1(engine), f1(rest), f1(barrier)})
+	}
+	writeCSV("profile_phases", csvRows)
+	fmt.Println("(shares are fractions of Engine.Run wall time and sum to ~100%; barrier% is\n the fraction of sharded-round worker time spent waiting at the cycle barrier)")
 }
 
 func intersect(names, allowed []string) []string {

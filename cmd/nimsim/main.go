@@ -58,6 +58,8 @@ func main() {
 		trip     = flag.Float64("trip", 0, "DTM trip temperature in C (0 = the 85 C default)")
 		duty     = flag.String("duty", "", "DTM duty-cycle pattern N/M: a hot core issues on N of every M slots (default 1/4)")
 		shards   = flag.Int("shards", 1, "run the network phase sharded across this many layer goroutines (results are bit-identical to -shards 1; a -trace run falls back to serial)")
+		profile  = flag.Bool("profile", false, "attach the host-side phase profiler and print the wall-clock attribution table (non-perturbing: results are bit-identical)")
+		profOut  = flag.String("proftrace", "", "write the profiler's host timeline as Chrome trace-event JSON (throughput + phase-share tracks; implies -profile)")
 		pprof    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		srvAddr  = flag.String("serve", "", "run as the telemetry daemon on this address instead of a one-shot simulation (POST /jobs, SSE streams, /metrics, /healthz)")
 	)
@@ -116,6 +118,14 @@ func main() {
 	var spans *nim.SpanRecorder
 	if *spansOut != "" || *brkdown {
 		spans = sim.AttachSpans()
+	}
+	// The host profiler attaches before the settle window so its loop-time
+	// attribution covers every cycle the process simulates from here on.
+	// It observes the simulator, not the simulated chip, so it perturbs
+	// nothing — results stay bit-identical.
+	var profRec *nim.ProfileRecorder
+	if *profile || *profOut != "" {
+		profRec = sim.AttachProfile()
 	}
 	sim.Start()
 	sim.Run(*warm)
@@ -277,6 +287,11 @@ func main() {
 		}
 	}
 
+	if profRec != nil && r.Profile != nil {
+		fmt.Println()
+		r.Profile.WriteTable(os.Stdout)
+	}
+
 	if *heatmap {
 		fmt.Println()
 		sim.WriteHeatmap(os.Stdout)
@@ -286,9 +301,30 @@ func main() {
 		sim.WriteBusReport(os.Stdout)
 	}
 
+	if *profOut != "" && profRec != nil {
+		if err := writeHostTimeline(*profOut, profRec); err != nil {
+			fatalf("%v", err)
+		}
+	}
+
 	if err := sim.CheckInvariants(); err != nil {
 		fatalf("invariant violation: %v", err)
 	}
+}
+
+// writeHostTimeline dumps the profiler's rolling run-window series as a
+// Perfetto host timeline (host microseconds on the x axis, unlike the
+// -trace export's simulated cycles).
+func writeHostTimeline(path string, rec *nim.ProfileRecorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteTimeline(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runDaemon runs the simulation-as-a-service mode (`nimsim -serve`).

@@ -5,8 +5,11 @@ import (
 	"io"
 
 	"repro/internal/dtm"
+	"repro/internal/fabric"
 	"repro/internal/obs"
 	"repro/internal/power"
+	"repro/internal/prof"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/thermal"
 )
@@ -125,6 +128,65 @@ func (s *System) refreshProbe() {
 	sink = obs.Tee(s.traceSink, sink)
 	s.AttachProbe(obs.NewProbe(sink))
 	s.applySharding()
+}
+
+// AttachProfile attaches the host-side phase profiler ("flight
+// recorder"): from now on every Engine.Run is wall-clock-attributed
+// across the loop's phases — CPU pipeline events vs protocol/cluster
+// events in the engine drain (split by typed event kind), the network
+// tick serial vs sharded (the fabric self-times it), the thermal and
+// sampler tickers, and the engine's own bookkeeping as the residual —
+// plus per-shard busy/barrier-wait time when sharding is in force, a
+// rolling cycles/sec window series, and allocation deltas. Results gains
+// the Profile report.
+//
+// Measurement is host-side only: monotonic clock deltas folded into
+// value-typed accumulators, nothing fed back into simulation state — so
+// an attached run is bit-identical to a detached one (the contract is
+// pinned by TestProfileDoesNotPerturb), idle-cycle skipping stays
+// engaged, and sharding is unaffected. Attach any time; idempotent
+// (subsequent calls return the same recorder). Attach before Warm to
+// profile the whole run, since attribution starts at attachment.
+func (s *System) AttachProfile() *prof.Recorder {
+	if s.hostProf != nil {
+		return s.hostProf
+	}
+	rec := prof.NewRecorder()
+	s.hostProf = rec
+	s.Engine.SetProfiler(rec, eventPhase, tickerPhase)
+	s.Fab.SetProfiler(rec)
+	return rec
+}
+
+// eventPhase classifies a typed engine event for the profiler: the CPU
+// pipeline kinds are the core's fetch-execute loop; everything else —
+// cluster serves, migrations, replicas, memory path, and any legacy
+// closure — is protocol work.
+func eventPhase(kind uint8, closure bool) prof.Phase {
+	if closure {
+		return prof.PhaseProtocol
+	}
+	switch kind {
+	case evCPUStep, evCPUAccess, evCPUIfetch, evCPUData, evCPULoadMiss:
+		return prof.PhaseCPU
+	}
+	return prof.PhaseProtocol
+}
+
+// tickerPhase classifies a registered ticker for the profiler. The
+// fabric is PhaseSelf: it times its own tick so the serial/sharded split
+// is attributed correctly (the engine cannot see which path a cycle
+// took).
+func tickerPhase(t sim.Ticker) prof.Phase {
+	switch t.(type) {
+	case *fabric.Fabric:
+		return prof.PhaseSelf
+	case *obs.ThermalTracker:
+		return prof.PhaseThermal
+	case *obs.Sampler:
+		return prof.PhaseSampler
+	}
+	return prof.PhaseOther
 }
 
 // AttachSpans attaches a transaction span recorder: from now on every L2

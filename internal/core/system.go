@@ -12,6 +12,7 @@ import (
 	"repro/internal/noc"
 	"repro/internal/obs"
 	"repro/internal/placement"
+	"repro/internal/prof"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -141,6 +142,13 @@ type System struct {
 	// actually in force also depends on the attachments that require a
 	// global cycle order (see applySharding).
 	shardsWanted int
+
+	// hostProf, when non-nil, is the host-side phase profiler (see
+	// AttachProfile): wall-clock attribution across the loop's phases,
+	// shard barrier telemetry, and throughput windows. Host-side only —
+	// it never influences simulation state, so Results (minus the
+	// Profile field itself) are bit-identical with it attached.
+	hostProf *prof.Recorder
 
 	baseCycle, baseInstr, baseFlitHops, baseBusFlits uint64
 }
@@ -764,6 +772,14 @@ type Results struct {
 	// per-actuator counts, and their latency cost — filled only when a
 	// DTM controller was attached (see AttachDTM); nil otherwise.
 	DTM *dtm.Report `json:",omitempty"`
+
+	// Profile is the host-side flight-recorder readout — per-phase
+	// wall-clock shares, shard barrier-wait, throughput windows — filled
+	// only when the profiler was attached (see AttachProfile); nil
+	// otherwise. Unlike every other field it describes the simulator,
+	// not the simulated chip, and is therefore host- and load-dependent:
+	// comparisons must strip it first (TestProfileDoesNotPerturb does).
+	Profile *prof.Report `json:",omitempty"`
 }
 
 // Results reads out the current measurement window.
@@ -811,6 +827,9 @@ func (s *System) Results() Results {
 	}
 	if s.dtm != nil {
 		r.DTM = s.dtm.Report()
+	}
+	if s.hostProf != nil {
+		r.Profile = s.hostProf.Report()
 	}
 	return r
 }

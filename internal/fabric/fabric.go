@@ -7,11 +7,13 @@ package fabric
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/dtdma"
 	"repro/internal/geom"
 	"repro/internal/noc"
 	"repro/internal/obs"
+	"repro/internal/prof"
 	"repro/internal/stats"
 )
 
@@ -86,6 +88,13 @@ type Fabric struct {
 	// counts the ticks that actually fanned out.
 	shard         *shardState
 	shardedCycles uint64
+
+	// profRec, when non-nil, receives the network phase's wall-clock
+	// attribution: the fabric times its own Tick (so the engine's
+	// classifier marks it prof.PhaseSelf) and records under PhaseNet or
+	// PhaseNetSharded depending on which path the cycle took. The shard
+	// group additionally gets the recorder's per-shard busy/wait slots.
+	profRec *prof.Recorder
 }
 
 // New builds the fabric. pillars lists the in-plane pillar positions; each
@@ -379,21 +388,61 @@ func (f *Fabric) activate(i int) {
 	}
 }
 
+// SetProfiler attaches (nil detaches) the host-side phase recorder. The
+// fabric self-times every Tick into PhaseNet or PhaseNetSharded — the
+// split the engine cannot see — and wires the recorder's per-shard
+// busy/wait telemetry into the shard group when one exists (SetShards
+// re-wires on re-sharding). Purely host-side: a profiled fabric is
+// bit-identical to an unprofiled one.
+func (f *Fabric) SetProfiler(r *prof.Recorder) {
+	f.profRec = r
+	f.shareShardProfile()
+}
+
+// shareShardProfile points the shard group (when sharding is configured)
+// at the recorder's shard telemetry slots, or detaches them.
+func (f *Fabric) shareShardProfile() {
+	if f.shard == nil {
+		return
+	}
+	if f.profRec == nil {
+		f.shard.group.SetProfile(nil)
+		return
+	}
+	f.shard.group.SetProfile(f.profRec.ConfigureShards(f.shard.labels))
+}
+
 // Tick advances every busy router, then every pillar bus, by one cycle.
 // Routers that became busy during this tick (flits handed to a neighbor)
 // join the list for the next cycle; routers that drained leave it. With
 // sharding enabled (SetShards) and enough routers active to amortize the
 // barrier, the router phase fans out across the layer shards instead.
 func (f *Fabric) Tick(cycle uint64) {
+	if f.profRec != nil {
+		t0 := time.Now()
+		sharded := f.tick(cycle)
+		ph := prof.PhaseNet
+		if sharded {
+			ph = prof.PhaseNetSharded
+		}
+		f.profRec.Record(ph, time.Since(t0).Nanoseconds())
+		return
+	}
+	f.tick(cycle)
+}
+
+// tick is the tick body; it reports whether the cycle fanned out to the
+// shard workers (the profiled wrapper splits the two phases).
+func (f *Fabric) tick(cycle uint64) bool {
 	f.now = cycle
 	if f.probe == nil && len(f.activeList) == 0 && f.busyBuses == 0 {
 		// Nothing in flight and no probe watching the dTDMA slot wheel:
 		// the whole network tick is a no-op.
-		return
+		return false
 	}
 	if f.shard != nil && len(f.activeList) >= shardMinActive {
 		f.tickSharded(cycle)
-		return
+		return true
 	}
 	snapshot := len(f.activeList)
 	for k := 0; k < snapshot; k++ {
@@ -403,6 +452,7 @@ func (f *Fabric) Tick(cycle uint64) {
 		b.Tick(cycle)
 	}
 	f.pruneActive()
+	return false
 }
 
 // pruneActive drops routers that drained during this tick from the

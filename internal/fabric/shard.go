@@ -66,6 +66,7 @@ type shardLog struct {
 type shardState struct {
 	n        int
 	shardOf  []int // layer -> shard (contiguous blocks)
+	labels   []string
 	logs     []shardLog
 	probes   []*obs.Probe
 	group    *sim.ShardGroup
@@ -145,11 +146,13 @@ func (f *Fabric) SetShards(n int) int {
 		tasks[s] = func() { f.shardTick(s) }
 	}
 	f.shard = st
+	st.labels = labels
 	st.group = sim.NewShardGroup(labels, tasks)
 	for _, r := range f.routers {
 		r.SetAtomicHops(true)
 	}
 	f.refreshRouterProbes()
+	f.shareShardProfile()
 	return n
 }
 

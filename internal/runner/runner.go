@@ -8,6 +8,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/prof"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -96,6 +97,23 @@ type Job struct {
 	// other goroutines as-is — the serving tier's /metrics reads these.
 	// Setting it implies chunked execution, as for Progress.
 	OnStats func(snap []stats.NameValue)
+
+	// Profile attaches the host-side phase profiler
+	// (core.System.AttachProfile) before warm-up, so Results.Profile
+	// carries the whole run's wall-clock attribution — per-phase shares,
+	// shard barrier-wait, throughput windows. Host-side only: a profiled
+	// job's Results (Profile field aside) are bit-identical to an
+	// unprofiled job's. False leaves it off, costing nothing.
+	Profile bool
+
+	// OnProfile, when non-nil (and Profile true), receives a cheap live
+	// snapshot of the profiler — wall time, cycles/sec, per-phase
+	// seconds, barrier-wait fraction — after each measurement chunk and
+	// once more at completion; the serving tier's per-job phase gauges
+	// read these. The snapshot is a value taken between engine runs on
+	// the worker goroutine. Setting it implies chunked execution, as for
+	// Progress.
+	OnProfile func(snap prof.Snapshot)
 }
 
 // Result pairs a Job with its outcome. Exactly one of Results/Err is
@@ -225,6 +243,12 @@ func runOne(i int, j Job) (res Result) {
 		// spans and the breakdown matches the measured means exactly.
 		sys.AttachSpans()
 	}
+	var rec *prof.Recorder
+	if j.Profile {
+		// Before warm-up too: the profiler attributes host time, and warm
+		// cycles cost host time worth seeing in the dominance table.
+		rec = sys.AttachProfile()
+	}
 	sys.Warm(j.Seed)
 	sys.Start()
 	// Progress spans both windows proportionally: the warm phase covers
@@ -234,7 +258,7 @@ func runOne(i int, j Job) (res Result) {
 	if total > 0 {
 		warmFrac = float64(j.WarmCycles) / float64(total)
 	}
-	runChunked(sys, j, j.WarmCycles, 0, warmFrac, false)
+	runChunked(sys, j, rec, j.WarmCycles, 0, warmFrac, false)
 	sys.ResetStats()
 	if j.ThermalInterval > 0 {
 		// Before the sampler: the tracker must tick (flushing its power
@@ -260,12 +284,15 @@ func runOne(i int, j Job) (res Result) {
 			sampler.SetRowSink(j.OnSample)
 		}
 	}
-	runChunked(sys, j, j.MeasureCycles, warmFrac, 1-warmFrac, true)
+	runChunked(sys, j, rec, j.MeasureCycles, warmFrac, 1-warmFrac, true)
 	if j.Progress != nil {
 		j.Progress(1)
 	}
 	if j.OnStats != nil {
 		j.OnStats(sys.StatsRegistry().Snapshot())
+	}
+	if j.OnProfile != nil && rec != nil {
+		j.OnProfile(rec.Snap())
 	}
 	res.Results = sys.Results()
 	if sampler != nil {
@@ -287,8 +314,9 @@ const progressChunks = 64
 // skipped steps are no-ops, so only the observation points differ.
 // measuring gates the OnStats hook to the measurement window, where the
 // counters mean something.
-func runChunked(sys *core.System, j Job, cycles uint64, base, span float64, measuring bool) {
-	hooked := j.Progress != nil || (measuring && j.OnStats != nil)
+func runChunked(sys *core.System, j Job, rec *prof.Recorder, cycles uint64, base, span float64, measuring bool) {
+	hooked := j.Progress != nil ||
+		(measuring && (j.OnStats != nil || (j.OnProfile != nil && rec != nil)))
 	if !hooked || cycles == 0 {
 		sys.Run(cycles)
 		return
@@ -314,6 +342,9 @@ func runChunked(sys *core.System, j Job, cycles uint64, base, span float64, meas
 		}
 		if measuring && j.OnStats != nil {
 			j.OnStats(sys.StatsRegistry().Snapshot())
+		}
+		if measuring && j.OnProfile != nil && rec != nil {
+			j.OnProfile(rec.Snap())
 		}
 	}
 }

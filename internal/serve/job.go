@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/config"
+	"repro/internal/prof"
 	"repro/internal/runner"
 	"repro/internal/stats"
 )
@@ -233,6 +234,7 @@ type job struct {
 	header   []string
 	rows     [][]float64
 	counters []stats.NameValue
+	profile  *prof.Snapshot // latest host-side phase snapshot, nil until first chunk
 
 	resultJSON json.RawMessage // canonical Results bytes, marshaled once
 	errMsg     string
@@ -267,6 +269,16 @@ func (rec *job) setFraction(f float64) {
 func (rec *job) setCounters(snap []stats.NameValue) {
 	rec.mu.Lock()
 	rec.counters = snap
+	rec.mu.Unlock()
+}
+
+// setProfile is the runner OnProfile hook: the latest host-side phase
+// snapshot. Snapshots are self-contained values, so the record just
+// swaps in the newest; /metrics reads the pointer under mu and never
+// mutates through it.
+func (rec *job) setProfile(snap prof.Snapshot) {
+	rec.mu.Lock()
+	rec.profile = &snap
 	rec.mu.Unlock()
 }
 

@@ -3,11 +3,25 @@ package serve
 import (
 	"fmt"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/prof"
 )
+
+// buildVersion is the module version stamped into the binary, resolved
+// once for the nimsim_build_info metric ("dev" for unstamped builds,
+// e.g. `go run` or a plain `go build` of the work tree).
+var buildVersion = func() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		return bi.Main.Version
+	}
+	return "dev"
+}()
 
 // daemonMetrics are the server's own counters, updated from handler and
 // worker goroutines; atomics keep /metrics race-free without sharing the
@@ -54,6 +68,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge("nimsim_sse_clients", "Currently connected /stream subscribers.", float64(s.m.sseClients.Load()))
 	gauge("nimsim_workers", "Simulation worker pool size.", float64(s.opts.Workers))
 	gauge("nimsim_uptime_seconds", "Seconds since the daemon started.", time.Since(s.start).Seconds())
+	fmt.Fprintf(&b, "# HELP nimsim_build_info Build metadata as labels; the value is always 1.\n# TYPE nimsim_build_info gauge\nnimsim_build_info{version=%q,go_version=%q} 1\n",
+		buildVersion, runtime.Version())
 
 	running := 0
 	type jobRow struct {
@@ -62,11 +78,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fraction float64
 		shards   int
 		counters map[string]uint64
+		profile  *prof.Snapshot
 	}
 	rows := make([]jobRow, 0, len(recs))
 	for _, rec := range recs {
 		rec.mu.Lock()
-		jr := jobRow{id: rec.id, state: rec.state, fraction: rec.fraction, shards: rec.run.Shards}
+		jr := jobRow{id: rec.id, state: rec.state, fraction: rec.fraction, shards: rec.run.Shards, profile: rec.profile}
 		if jr.shards < 1 {
 			jr.shards = 1 // a zero-valued Shards runs the serial path
 		}
@@ -83,6 +100,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		rows = append(rows, jr)
 	}
 	gauge("nimsim_jobs_running", "Jobs currently executing on a worker.", float64(running))
+	gauge("nimsim_jobs_inflight", "Jobs accepted but not yet finished (queued + running).", float64(queued+running))
 
 	fmt.Fprintf(&b, "# HELP nimsim_job_progress Completion fraction of each registered job.\n# TYPE nimsim_job_progress gauge\n")
 	for _, jr := range rows {
@@ -102,6 +120,37 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		for _, n := range names {
 			fmt.Fprintf(&b, "nimsim_job_counter{job=%q,counter=%q} %d\n", jr.id, n, jr.counters[n])
 		}
+	}
+
+	// Host-side phase profile, from the profiler every job runs with
+	// (see runJob): where each job's wall-clock goes, live while it runs
+	// and frozen at the final snapshot once done.
+	fmt.Fprintf(&b, "# HELP nimsim_job_phase_seconds Host wall-clock seconds attributed to each simulation-loop phase, per job.\n# TYPE nimsim_job_phase_seconds gauge\n")
+	for _, jr := range rows {
+		if jr.profile == nil {
+			continue
+		}
+		for p := 0; p < prof.NumPhases; p++ {
+			if jr.profile.PhaseSeconds[p] == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "nimsim_job_phase_seconds{job=%q,phase=%q} %g\n",
+				jr.id, prof.Phase(p).String(), jr.profile.PhaseSeconds[p])
+		}
+	}
+	fmt.Fprintf(&b, "# HELP nimsim_job_cycles_per_sec Simulated cycles per host wall-clock second, per job.\n# TYPE nimsim_job_cycles_per_sec gauge\n")
+	for _, jr := range rows {
+		if jr.profile == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "nimsim_job_cycles_per_sec{job=%q} %g\n", jr.id, jr.profile.CyclesPerSec)
+	}
+	fmt.Fprintf(&b, "# HELP nimsim_job_barrier_wait_frac Fraction of sharded-round worker time spent waiting at the cycle barrier, per job (serial jobs report nothing).\n# TYPE nimsim_job_barrier_wait_frac gauge\n")
+	for _, jr := range rows {
+		if jr.profile == nil || jr.profile.BarrierWaitFrac == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "nimsim_job_barrier_wait_frac{job=%q} %g\n", jr.id, jr.profile.BarrierWaitFrac)
 	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

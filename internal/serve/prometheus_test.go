@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// sampleLine matches one exposition sample: name, optional label set,
+// value. Label values are quoted strings with \" and \\ escapes.
+var sampleLine = regexp.MustCompile(
+	`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:\\.|[^"\\])*"(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:\\.|[^"\\])*")*\})? (\S+)$`)
+
+// parseExposition validates the Prometheus text format line by line and
+// returns the samples grouped by family name. It enforces the contract
+// the satellite asks for: every family that emits a sample has # HELP
+// and # TYPE headers, and every sample line parses.
+func parseExposition(t *testing.T, body string) map[string][]string {
+	t.Helper()
+	helped := map[string]bool{}
+	typed := map[string]bool{}
+	samples := map[string][]string{}
+	sc := bufio.NewScanner(strings.NewReader(body))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, _, found := strings.Cut(rest, " ")
+			if !found {
+				t.Fatalf("HELP line without help text: %q", line)
+			}
+			helped[name] = true
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, kind, found := strings.Cut(rest, " ")
+			if !found || (kind != "counter" && kind != "gauge") {
+				t.Fatalf("bad TYPE line: %q", line)
+			}
+			typed[name] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := sampleLine.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("unparseable sample line: %q", line)
+		}
+		name, value := m[1], m[3]
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			t.Fatalf("sample %q has non-numeric value %q", name, value)
+		}
+		samples[name] = append(samples[name], line)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for name := range samples {
+		if !helped[name] {
+			t.Errorf("family %s has samples but no # HELP", name)
+		}
+		if !typed[name] {
+			t.Errorf("family %s has samples but no # TYPE", name)
+		}
+	}
+	return samples
+}
+
+// TestMetricsExposition runs a real job to completion and checks that
+// the /metrics output parses as Prometheus text exposition, that every
+// family carries HELP/TYPE headers, and that the always-on host profiler
+// surfaced the per-job phase and throughput gauges.
+func TestMetricsExposition(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+
+	resp, body := post(t, ts.URL+"/jobs?wait=1", tinyBody(7))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /jobs?wait=1 = %d: %s", resp.StatusCode, body)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone {
+		t.Fatalf("job state = %q: %s", st.State, st.Error)
+	}
+
+	resp, body = get(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	samples := parseExposition(t, string(body))
+
+	for _, fam := range []string{
+		"nimsim_build_info", "nimsim_jobs_inflight",
+		"nimsim_job_phase_seconds", "nimsim_job_cycles_per_sec",
+	} {
+		if len(samples[fam]) == 0 {
+			t.Errorf("no %s samples in exposition", fam)
+		}
+	}
+
+	build := samples["nimsim_build_info"]
+	if len(build) != 1 || !strings.Contains(build[0], `go_version="go`) ||
+		!strings.Contains(build[0], `version="`) || !strings.HasSuffix(build[0], " 1") {
+		t.Errorf("nimsim_build_info = %q, want one sample with version labels and value 1", build)
+	}
+
+	// The finished job must carry phase attribution and a throughput
+	// figure — the profiler is always on, no opt-in knob.
+	jobLabel := fmt.Sprintf("{job=%q}", st.ID)
+	var cps string
+	for _, line := range samples["nimsim_job_cycles_per_sec"] {
+		if strings.Contains(line, jobLabel) {
+			cps = line
+		}
+	}
+	if cps == "" {
+		t.Fatalf("no nimsim_job_cycles_per_sec sample for job %s:\n%s", st.ID, body)
+	}
+	v, err := strconv.ParseFloat(cps[strings.LastIndex(cps, " ")+1:], 64)
+	if err != nil || v <= 0 {
+		t.Errorf("cycles/sec sample %q, want a positive value", cps)
+	}
+	phases := 0
+	for _, line := range samples["nimsim_job_phase_seconds"] {
+		if strings.Contains(line, fmt.Sprintf("job=%q", st.ID)) {
+			phases++
+		}
+	}
+	if phases < 2 {
+		t.Errorf("job %s has %d phase samples, want several (cpu, protocol, net, ...)", st.ID, phases)
+	}
+}

@@ -168,6 +168,13 @@ func (s *Server) runJob(rec *job) {
 	j := rec.run
 	j.Progress = rec.setFraction
 	j.OnStats = rec.setCounters
+	// Every job runs with the host profiler attached. The profiler is
+	// provably non-perturbing (Results stay bit-identical, see
+	// internal/prof), so attaching it unconditionally adds per-phase
+	// wall-clock gauges to /metrics without touching the job identity —
+	// a profiled run's cache entry still answers any submission.
+	j.Profile = true
+	j.OnProfile = rec.setProfile
 	if j.SampleInterval > 0 {
 		j.OnSample = rec.appendRow
 	}

@@ -13,6 +13,12 @@
 // tie-break with identical semantics.
 package sim
 
+import (
+	"time"
+
+	"repro/internal/prof"
+)
+
 // Ticker is a component that performs work on every clock edge.
 type Ticker interface {
 	// Tick advances the component by one cycle. The current cycle number is
@@ -107,6 +113,20 @@ type Engine struct {
 	idlers    []IdleTicker
 	skippable bool
 	noSkip    bool
+
+	// prof, when non-nil, receives host-side wall-clock attribution for
+	// every step: each fired event and each ticker's Tick is timed with
+	// monotonic clock deltas and folded into the recorder under the phase
+	// the classifiers assign (see SetProfiler). The nil path is the
+	// untouched hot path — one pointer check per Step and per Run.
+	prof         *prof.Recorder
+	classifyEv   func(kind uint8, closure bool) prof.Phase
+	classifyTick func(t Ticker) prof.Phase
+	// tickerPhase caches classifyTick per registered ticker, in
+	// registration order; prof.PhaseSelf marks tickers that time
+	// themselves into the recorder (the fabric, which splits its tick
+	// into serial vs sharded), so the engine takes no readings for them.
+	tickerPhase []prof.Phase
 }
 
 // NewEngine returns an engine at cycle 0 with no components.
@@ -125,6 +145,29 @@ func (e *Engine) Register(t Ticker) {
 	} else {
 		e.skippable = false
 		e.idlers = nil
+	}
+	if e.classifyTick != nil {
+		e.tickerPhase = append(e.tickerPhase, e.classifyTick(t))
+	}
+}
+
+// SetProfiler attaches a host-side phase profiler: every fired event is
+// classified by eventPhase (kind plus whether it is a legacy closure) and
+// every ticker by tickerPhase — returning prof.PhaseSelf for tickers that
+// record their own time (the fabric). Tickers registered later are
+// classified on registration. A nil recorder detaches, restoring the
+// zero-overhead step. Attribution never feeds back into simulation state,
+// so a profiled run is bit-identical to an unprofiled one.
+func (e *Engine) SetProfiler(r *prof.Recorder, eventPhase func(kind uint8, closure bool) prof.Phase, tickerPhase func(Ticker) prof.Phase) {
+	e.prof = r
+	e.tickerPhase = e.tickerPhase[:0]
+	if r == nil {
+		e.classifyEv, e.classifyTick = nil, nil
+		return
+	}
+	e.classifyEv, e.classifyTick = eventPhase, tickerPhase
+	for _, t := range e.tickers {
+		e.tickerPhase = append(e.tickerPhase, tickerPhase(t))
 	}
 }
 
@@ -214,6 +257,10 @@ func (e *Engine) migrate() {
 // Step advances the simulation by one cycle: due events fire first (they may
 // schedule more events, including for this same cycle), then tickers run.
 func (e *Engine) Step() {
+	if e.prof != nil {
+		e.stepProfiled()
+		return
+	}
 	e.migrate()
 	if len(e.overdue) > 0 {
 		// Events whose cycle was drained before they were scheduled; they
@@ -240,6 +287,57 @@ func (e *Engine) Step() {
 	}
 	e.drained = false
 	e.cycle++
+}
+
+// stepProfiled is Step with phase attribution — kept in lockstep with the
+// unprofiled body above (same ordering, same drained-flag discipline), plus
+// chained monotonic clock readings: each fired event's delta lands under
+// its classified phase, each ticker is timed around its Tick (except
+// self-timing ones), and everything unclaimed falls to the engine phase by
+// subtraction at report time.
+func (e *Engine) stepProfiled() {
+	e.prof.StepDone()
+	e.migrate()
+	last := time.Now()
+	if len(e.overdue) > 0 {
+		for i := 0; i < len(e.overdue); i++ {
+			e.fire(&e.overdue[i])
+			last = e.recordEvent(&e.overdue[i], last)
+		}
+		clear(e.overdue)
+		e.overdue = e.overdue[:0]
+	}
+	slot := e.cycle & wheelMask
+	for i := 0; i < len(e.buckets[slot]); i++ {
+		ev := e.buckets[slot][i] // copy: firing may append and reallocate
+		e.fire(&ev)
+		e.inWheel--
+		last = e.recordEvent(&ev, last)
+	}
+	clear(e.buckets[slot])
+	e.buckets[slot] = e.buckets[slot][:0]
+	e.drained = true
+	for ti, t := range e.tickers {
+		ph := e.tickerPhase[ti]
+		if ph == prof.PhaseSelf {
+			t.Tick(e.cycle)
+			continue
+		}
+		t0 := time.Now()
+		t.Tick(e.cycle)
+		e.prof.Record(ph, time.Since(t0).Nanoseconds())
+	}
+	e.drained = false
+	e.cycle++
+}
+
+// recordEvent attributes the wall time since the previous reading to the
+// just-fired event's phase and returns the new reading. Chaining readings
+// costs one clock call per event instead of two.
+func (e *Engine) recordEvent(ev *event, last time.Time) time.Time {
+	now := time.Now()
+	e.prof.Record(e.classifyEv(ev.kind, ev.fn != nil), now.Sub(last).Nanoseconds())
+	return now
 }
 
 // idle reports whether every registered ticker is skip-safe and idle.
@@ -283,7 +381,20 @@ func (e *Engine) nextEventAt() (uint64, bool) {
 // implements IdleTicker and all report idle, the clock fast-forwards over
 // event-free cycles; events still fire at exactly the cycles they were
 // scheduled for, so results are identical to stepping every cycle.
+//
+// With a profiler attached each Run is one throughput window in the
+// recorder's rolling series (cycles advanced over wall time).
 func (e *Engine) Run(n uint64) {
+	if e.prof != nil {
+		start, c0 := e.prof.RunStart(), e.cycle
+		e.runLoop(n)
+		e.prof.RunEnd(start, e.cycle-c0)
+		return
+	}
+	e.runLoop(n)
+}
+
+func (e *Engine) runLoop(n uint64) {
 	end := e.cycle + n
 	for e.cycle < end {
 		if e.cycle+1 < end && e.idle() {
@@ -306,7 +417,18 @@ func (e *Engine) Run(n uint64) {
 
 // RunUntil advances the simulation until done reports true or the cycle
 // limit is reached. It returns true if done became true before the limit.
+// Like Run, a profiled RunUntil records one throughput window.
 func (e *Engine) RunUntil(done func() bool, limit uint64) bool {
+	if e.prof != nil {
+		start, c0 := e.prof.RunStart(), e.cycle
+		ok := e.runUntilLoop(done, limit)
+		e.prof.RunEnd(start, e.cycle-c0)
+		return ok
+	}
+	return e.runUntilLoop(done, limit)
+}
+
+func (e *Engine) runUntilLoop(done func() bool, limit uint64) bool {
 	for e.cycle < limit {
 		if done() {
 			return true

@@ -3,6 +3,9 @@ package sim
 import (
 	"context"
 	"runtime/pprof"
+	"time"
+
+	"repro/internal/prof"
 )
 
 // ShardGroup runs a fixed set of shard tasks in lockstep rounds on
@@ -32,6 +35,13 @@ type ShardGroup struct {
 	start  []chan struct{}
 	done   chan struct{}
 	closed bool
+
+	// prof, when non-nil, receives per-shard busy time (each worker
+	// times its task into its own padded slot) and whole-round wall
+	// time, from which barrier wait falls out by subtraction. Written
+	// only between rounds; the start-channel sends publish it to the
+	// workers, so no further synchronization is needed.
+	prof *prof.ShardSet
 }
 
 // NewShardGroup spawns one labeled worker per task; labels[i] names
@@ -44,15 +54,26 @@ func NewShardGroup(labels []string, tasks []func()) *ShardGroup {
 	for i := range tasks {
 		ch := make(chan struct{}, 1)
 		g.start = append(g.start, ch)
-		go g.worker(labels[i], tasks[i], ch)
+		go g.worker(i, labels[i], tasks[i], ch)
 	}
 	return g
 }
 
-func (g *ShardGroup) worker(label string, task func(), start <-chan struct{}) {
+// SetProfile attaches (nil detaches) the shard telemetry block. Must be
+// called between rounds — the fabric does so from the simulation
+// goroutine, which is also the goroutine that calls Cycle.
+func (g *ShardGroup) SetProfile(s *prof.ShardSet) { g.prof = s }
+
+func (g *ShardGroup) worker(i int, label string, task func(), start <-chan struct{}) {
 	pprof.Do(context.Background(), pprof.Labels("shard", label), func(context.Context) {
 		for range start {
-			task()
+			if ss := g.prof; ss != nil {
+				t0 := time.Now()
+				task()
+				ss.AddBusy(i, time.Since(t0).Nanoseconds())
+			} else {
+				task()
+			}
 			g.done <- struct{}{}
 		}
 	})
@@ -62,11 +83,19 @@ func (g *ShardGroup) worker(label string, task func(), start <-chan struct{}) {
 // lookahead window (one simulated cycle, since L = 1). The channel
 // handshake is the barrier.
 func (g *ShardGroup) Cycle() {
+	ss := g.prof
+	var t0 time.Time
+	if ss != nil {
+		t0 = time.Now()
+	}
 	for _, ch := range g.start {
 		ch <- struct{}{}
 	}
 	for range g.start {
 		<-g.done
+	}
+	if ss != nil {
+		ss.RoundDone(time.Since(t0).Nanoseconds())
 	}
 }
 

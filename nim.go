@@ -38,6 +38,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dtm"
 	"repro/internal/obs"
+	"repro/internal/prof"
 	"repro/internal/runner"
 	"repro/internal/serve"
 	"repro/internal/thermal"
@@ -383,6 +384,35 @@ func (s *Simulation) AttachSpans() *SpanRecorder {
 // for the column reference.
 func (s *Simulation) AttachSampler(interval uint64) *MetricsSampler {
 	return s.sys.AttachSampler(interval)
+}
+
+// --- Host-side profiling (internal/prof) --------------------------------
+
+// ProfileRecorder is the host-side phase profiler ("flight recorder");
+// see AttachProfile. Read it out with Report (full readout, including
+// the table renderer behind `nimsim -profile`) or stream the rolling
+// throughput windows as a Perfetto host timeline with WriteTimeline.
+type ProfileRecorder = prof.Recorder
+
+// ProfileReport is the flight-recorder readout appearing in
+// Results.Profile when the profiler is attached: per-phase wall-clock
+// share/mean/P95, shard utilization and barrier-wait fraction, the
+// rolling cycles/sec series, allocation deltas, and host provenance
+// (GOOS/GOARCH, CPU count, Go version).
+type ProfileReport = prof.Report
+
+// AttachProfile attaches the host-side phase profiler: every subsequent
+// Run is wall-clock-attributed across the simulation loop's phases (CPU
+// events, protocol events, network serial/sharded, thermal, sampler,
+// engine bookkeeping), with per-shard busy vs barrier-wait telemetry
+// when SetShards is in force. Results gains the Profile report.
+//
+// Profiling is host-side only and provably non-perturbing: an attached
+// run's Results (Profile field aside) are bit-identical to a detached
+// run's, for every scheme, serial or sharded. Attach before Warm to
+// attribute the whole run; idempotent.
+func (s *Simulation) AttachProfile() *ProfileRecorder {
+	return s.sys.AttachProfile()
 }
 
 // --- Serving (internal/serve) -------------------------------------------

@@ -71,9 +71,22 @@ while [ -e "BENCH_${n}.json" ]; do n=$((n + 1)); done
 # names like shards-4 must survive (on a 1-CPU host there is no suffix
 # at all, and a blind strip would merge shards-2 and shards-4).
 procs="${GOMAXPROCS:-$(nproc)}"
-awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v procs="$procs" '
+
+# Host provenance: wall-clock numbers are only comparable between runs on
+# the same machine shape, so every snapshot records where it came from
+# and --compare refuses to gate silently across different hosts.
+goos=$(go env GOOS)
+goarch=$(go env GOARCH)
+gover=$(go version | awk '{print $3}')
+ncpu=$(nproc 2>/dev/null || echo 1)
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v procs="$procs" \
+	-v goos="$goos" -v goarch="$goarch" -v gover="$gover" -v ncpu="$ncpu" '
 BEGIN {
-	printf "{\n  \"generated\": \"%s\",\n  \"benchmarks\": {\n", date
+	printf "{\n  \"generated\": \"%s\",\n", date
+	printf "  \"host\": {\"goos\": \"%s\", \"goarch\": \"%s\", \"go_version\": \"%s\", \"num_cpu\": %d, \"gomaxprocs\": %d},\n", \
+		goos, goarch, gover, ncpu, procs
+	printf "  \"benchmarks\": {\n"
 	sep = ""
 }
 /^Benchmark/ {
@@ -103,18 +116,66 @@ nsop() {
 	}' "$1"
 }
 
-# Serial-vs-sharded speedup on the stacked 4-layer machine, from this
+# hostfield FILE KEY prints the value of "KEY" inside the snapshot's
+# one-line "host" object (empty for pre-provenance snapshots).
+hostfield() {
+	awk -v key="\"$2\"" '
+	/"host"/ {
+		n = split($0, parts, key ": ")
+		if (n < 2) exit
+		v = parts[2]
+		sub(/[,}].*/, "", v)
+		gsub(/"/, "", v)
+		print v
+		exit
+	}' "$1"
+}
+
+# Serial-vs-sharded throughput on the stacked 4-layer machine, from this
 # run's own numbers (informational; GOMAXPROCS bounds what is reachable).
+# On a single-CPU host the "speedup" label would be a lie — the shard
+# goroutines time-slice one core and the ratio measures barrier overhead
+# (nimsim -profile shows where it goes) — so the line says that instead.
 stacked=$(nsop "BENCH_${n}.json" "BenchmarkSimulatorThroughput/stacked")
 sharded=$(nsop "BENCH_${n}.json" "BenchmarkSimulatorThroughput/shards-4")
 if [ -n "$stacked" ] && [ -n "$sharded" ]; then
-	awk -v s="$stacked" -v p="$sharded" -v ncpu="$(nproc 2>/dev/null || echo '?')" 'BEGIN {
-		printf "shard speedup: stacked %g ns/op -> shards-4 %g ns/op = %.2fx (on %s CPUs)\n",
-			s, p, s / p, ncpu
-	}'
+	if [ "$ncpu" -le 1 ]; then
+		awk -v s="$stacked" -v p="$sharded" 'BEGIN {
+			printf "shard throughput: stacked %g ns/op -> shards-4 %g ns/op = %.2fx\n", s, p, s / p
+			print "  note: 1-CPU host — sharded goroutines time-slice a single core, so this"
+			print "  ratio is barrier/coordination overhead, NOT a parallel speedup"
+		}'
+	else
+		awk -v s="$stacked" -v p="$sharded" -v ncpu="$ncpu" 'BEGIN {
+			printf "shard speedup: stacked %g ns/op -> shards-4 %g ns/op = %.2fx (on %s CPUs)\n",
+				s, p, s / p, ncpu
+		}'
+	fi
 fi
 
 if [ -n "$compare" ]; then
+	# Wall-clock comparisons across different host shapes are noise:
+	# refuse to pretend otherwise. The gate still runs (the numbers are
+	# printed either way), but the warning is loud and unmissable.
+	mismatch=""
+	for key in goos goarch go_version num_cpu gomaxprocs; do
+		refv=$(hostfield "$compare" "$key")
+		newv=$(hostfield "BENCH_${n}.json" "$key")
+		if [ "$refv" != "$newv" ]; then
+			mismatch="${mismatch}  ${key}: reference '${refv:-<absent>}' vs this host '${newv}'
+"
+		fi
+	done
+	if [ -n "$mismatch" ]; then
+		{
+			echo "=================================================================="
+			echo "bench.sh: WARNING — host shape differs from reference snapshot"
+			echo "  ($compare); ns/op deltas below are NOT comparable:"
+			printf '%s' "$mismatch"
+			echo "=================================================================="
+		} >&2
+	fi
+
 	# Gate on the serial entry; snapshots before the sub-benchmark split
 	# stored it under the bare parent name.
 	ref=$(nsop "$compare" "BenchmarkSimulatorThroughput/serial")
