@@ -21,6 +21,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
+	"strconv"
 	"strings"
 	"syscall"
 
@@ -60,11 +62,23 @@ func main() {
 		shards   = flag.Int("shards", 1, "run the network phase sharded across this many layer goroutines (results are bit-identical to -shards 1; a -trace run falls back to serial)")
 		profile  = flag.Bool("profile", false, "attach the host-side phase profiler and print the wall-clock attribution table (non-perturbing: results are bit-identical)")
 		profOut  = flag.String("proftrace", "", "write the profiler's host timeline as Chrome trace-event JSON (throughput + phase-share tracks; implies -profile)")
+		digestIv = flag.Uint64("digest", 0, "fold a state digest every N cycles and print the per-subsystem chain digests (non-perturbing: results are bit-identical)")
+		diverge  = flag.String("diverge", "", "run a variant of this configuration side by side (comma-separated k=v overrides: scheme, bench, seed, shards, layers, pillars, l2, stack, dtm, trip, duty) and bisect the digest streams to the first divergent cycle and subsystem")
+		version  = flag.Bool("version", false, "print build and host provenance, then exit")
 		pprof    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		srvAddr  = flag.String("serve", "", "run as the telemetry daemon on this address instead of a one-shot simulation (POST /jobs, SSE streams, /metrics, /healthz)")
 	)
 	flag.Parse()
 
+	if *version {
+		// The same provenance nimsim_build_info and the BENCH_*.json host
+		// stamps carry, for humans pinning a measurement to a binary.
+		fmt.Printf("nimsim %s\n", serve.BuildVersion())
+		fmt.Printf("  go        %s\n", runtime.Version())
+		fmt.Printf("  platform  %s/%s\n", runtime.GOOS, runtime.GOARCH)
+		fmt.Printf("  cpus      %d (GOMAXPROCS %d)\n", runtime.NumCPU(), runtime.GOMAXPROCS(0))
+		return
+	}
 	if *srvAddr != "" {
 		runDaemon(*srvAddr, *pprof, *interval)
 		return
@@ -80,27 +94,21 @@ func main() {
 		}()
 	}
 
-	s, ok := serve.ParseScheme(*scheme)
-	if !ok {
-		fatalf("unknown scheme %q (want dnuca, dnuca2d, snuca3d, dnuca3d)", *scheme)
+	opts := machineOpts{
+		scheme: *scheme, bench: *bench, seed: *seed, shards: *shards,
+		layers: *layers, pillars: *pillars, l2mb: *l2mb, stack: *stack,
+		dtm: *dtmPol, trip: *trip, duty: *duty,
 	}
-	cfg := nim.DefaultConfig(s)
-	if *layers > 0 {
-		cfg.Layers = *layers
+	cfg, err := opts.config()
+	if err != nil {
+		fatalf("%v", err)
 	}
-	if *pillars > 0 {
-		cfg.NumPillars = *pillars
+
+	if *diverge != "" {
+		runDiverge(opts, cfg, *diverge, *warm, *measure, *tinter,
+			*thermal || *tmap, *digestIv, *asJSON)
+		return
 	}
-	if *l2mb > 0 {
-		var err error
-		if cfg, err = cfg.WithL2Size(*l2mb); err != nil {
-			fatalf("%v", err)
-		}
-	}
-	cfg.StackCPUs = *stack
-	cfg.DTMPolicy = *dtmPol
-	cfg.TripTempC = *trip
-	cfg.DutyCycle = *duty
 
 	sim, err := buildSimulation(cfg, *bench, *mix, *traceIn, *seed)
 	if err != nil {
@@ -155,6 +163,13 @@ func main() {
 		}
 	} else if *thermal || *tmap || *dtmPol != "" {
 		tracker = sim.AttachThermal(*tinter)
+	}
+	// The digest recorder attaches before the sampler so the sampler's
+	// digest columns read each interval's freshly folded chains. Like the
+	// profiler it observes without perturbing: results stay bit-identical.
+	var digestRec *nim.DigestRecorder
+	if *digestIv > 0 {
+		digestRec = sim.AttachDigest(*digestIv)
 	}
 	var sampler *nim.MetricsSampler
 	if *metrics != "" {
@@ -292,6 +307,15 @@ func main() {
 		r.Profile.WriteTable(os.Stdout)
 	}
 
+	if digestRec != nil && r.Digests != nil {
+		d := r.Digests
+		fmt.Printf("\nstate digest (every %d cycles, %d records)\n", d.Interval, d.Records)
+		fmt.Printf("  run            %s\n", d.Digest)
+		for _, l := range d.Lanes {
+			fmt.Printf("  %-12s   %s\n", l.Lane, l.Digest)
+		}
+	}
+
 	if *heatmap {
 		fmt.Println()
 		sim.WriteHeatmap(os.Stdout)
@@ -309,6 +333,149 @@ func main() {
 
 	if err := sim.CheckInvariants(); err != nil {
 		fatalf("invariant violation: %v", err)
+	}
+}
+
+// machineOpts is everything the flags contribute to one machine + run
+// description, factored so -diverge can rebuild a variant from k=v
+// overrides through the exact code path the base configuration took.
+type machineOpts struct {
+	scheme  string
+	bench   string
+	seed    uint64
+	shards  int
+	layers  int
+	pillars int
+	l2mb    int
+	stack   bool
+	dtm     string
+	trip    float64
+	duty    string
+}
+
+// config builds the machine description these options name.
+func (o machineOpts) config() (nim.Config, error) {
+	s, ok := serve.ParseScheme(o.scheme)
+	if !ok {
+		return nim.Config{}, fmt.Errorf("unknown scheme %q (want dnuca, dnuca2d, snuca3d, dnuca3d)", o.scheme)
+	}
+	cfg := nim.DefaultConfig(s)
+	if o.layers > 0 {
+		cfg.Layers = o.layers
+	}
+	if o.pillars > 0 {
+		cfg.NumPillars = o.pillars
+	}
+	if o.l2mb > 0 {
+		var err error
+		if cfg, err = cfg.WithL2Size(o.l2mb); err != nil {
+			return nim.Config{}, err
+		}
+	}
+	cfg.StackCPUs = o.stack
+	cfg.DTMPolicy = o.dtm
+	cfg.TripTempC = o.trip
+	cfg.DutyCycle = o.duty
+	return cfg, nil
+}
+
+// set applies one -diverge override, named after the flag it shadows.
+func (o *machineOpts) set(key, val string) error {
+	var err error
+	switch key {
+	case "scheme":
+		o.scheme = val
+	case "bench":
+		o.bench = val
+	case "seed":
+		o.seed, err = strconv.ParseUint(val, 10, 64)
+	case "shards":
+		o.shards, err = strconv.Atoi(val)
+	case "layers":
+		o.layers, err = strconv.Atoi(val)
+	case "pillars":
+		o.pillars, err = strconv.Atoi(val)
+	case "l2":
+		o.l2mb, err = strconv.Atoi(val)
+	case "stack":
+		o.stack, err = strconv.ParseBool(val)
+	case "dtm":
+		o.dtm = val
+	case "trip":
+		o.trip, err = strconv.ParseFloat(val, 64)
+	case "duty":
+		o.duty = val
+	default:
+		return fmt.Errorf("unknown override %q (want scheme, bench, seed, shards, layers, pillars, l2, stack, dtm, trip, duty)", key)
+	}
+	if err != nil {
+		return fmt.Errorf("override %s=%q: %v", key, val, err)
+	}
+	return nil
+}
+
+// runDiverge is `nimsim -diverge`: the flag-described base run and a
+// variant built from the override list run side by side, their digest
+// streams bisected to the first divergent cycle and subsystem.
+func runDiverge(base machineOpts, baseCfg nim.Config, spec string,
+	warm, measure, tinter uint64, wantThermal bool, interval uint64, asJSON bool) {
+	variant := base
+	for _, kv := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			fatalf("-diverge: override %q is not key=value", kv)
+		}
+		if err := variant.set(key, val); err != nil {
+			fatalf("-diverge: %v", err)
+		}
+	}
+	varCfg, err := variant.config()
+	if err != nil {
+		fatalf("-diverge: %v", err)
+	}
+	job := func(o machineOpts, cfg nim.Config) nim.SweepJob {
+		j := nim.SweepJob{
+			Config:        cfg,
+			Benchmark:     o.bench,
+			WarmCycles:    warm,
+			MeasureCycles: measure,
+			Seed:          o.seed,
+			Shards:        o.shards,
+		}
+		if wantThermal || cfg.DTMActive() {
+			j.ThermalInterval = tinter
+		}
+		return j
+	}
+	rep, err := nim.Diverge(job(base, baseCfg), job(variant, varCfg), interval)
+	if err != nil {
+		fatalf("-diverge: %v", err)
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+	fmt.Printf("diverge     base vs %s\n", spec)
+	fmt.Printf("  digest A       %s\n", rep.DigestA)
+	fmt.Printf("  digest B       %s\n", rep.DigestB)
+	fmt.Printf("  compared       %d snapshots every %d cycles\n", rep.Records, rep.Interval)
+	if rep.Equal {
+		fmt.Printf("  verdict        equal — every compared snapshot agrees\n")
+		return
+	}
+	precision := "exact"
+	if !rep.Refined {
+		precision = fmt.Sprintf("within the %d cycles ending there", rep.Interval)
+	}
+	fmt.Printf("  verdict        DIVERGED\n")
+	fmt.Printf("  first at       cycle %d (%s)\n", rep.Cycle, precision)
+	fmt.Printf("  subsystem      %s\n", rep.Lane)
+	if rep.Refined && rep.CoarseCycle != rep.Cycle {
+		fmt.Printf("  coarse hit     cycle %d, refined by per-cycle rerun\n", rep.CoarseCycle)
 	}
 }
 

@@ -1,0 +1,44 @@
+package cache
+
+import "repro/internal/digest"
+
+// DigestFold folds the bank's access counters and the full tag array —
+// every way's tag, coherence/migration bits, sharer vector, and the
+// per-set PLRU bits — into the recorder's current lane. Entries fold as
+// two packed words each so a full L2 sweep stays cheap enough for
+// per-cycle digesting during divergence refinement.
+func (b *Bank) DigestFold(r *digest.Recorder) {
+	r.Fold(b.Reads)
+	r.Fold(b.Writes)
+	for i := range b.sets {
+		s := &b.sets[i]
+		var plru uint64
+		for j, bit := range s.plru.bits {
+			if bit {
+				plru |= 1 << uint(j)
+			}
+		}
+		r.Fold(plru)
+		for w := range s.ways {
+			e := &s.ways[w]
+			var flags uint64
+			if e.Valid {
+				flags |= 1
+			}
+			if e.Dirty {
+				flags |= 2
+			}
+			if e.Migrating {
+				flags |= 4
+			}
+			if e.Replica {
+				flags |= 8
+			}
+			flags |= uint64(e.Sharers) << 8
+			flags |= uint64(e.Hits) << 24
+			flags |= uint64(uint8(e.LastCPU)) << 32
+			r.Fold(e.Tag)
+			r.Fold(flags)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/digest"
 	"repro/internal/dtm"
 	"repro/internal/fabric"
 	"repro/internal/obs"
@@ -358,6 +359,22 @@ func (s *System) AttachSampler(interval uint64) *obs.Sampler {
 		sm.AddGauge("t_hot_y", func(uint64) float64 { c, _ := tt.Hotspot(); return float64(c.Y) })
 		sm.AddGauge("t_hot_layer", func(uint64) float64 { c, _ := tt.Hotspot(); return float64(c.Layer) })
 		sm.AddGauge("t_hot_c", func(uint64) float64 { _, t := tt.Hotspot(); return t })
+	}
+
+	// Digest telemetry columns, present only when a digest recorder is
+	// attached (AttachDigest must precede AttachSampler so the recorder
+	// ticks before the sampler reads it): the cumulative overall digest
+	// and the per-subsystem chains, truncated to float64's 53-bit
+	// mantissa (a diagnostic fingerprint for eyeballing when two sampled
+	// runs diverge, not the attestation value — Results.Digests carries
+	// the full 64 bits).
+	if dr := s.digestRec; dr != nil {
+		const mant53 = 1<<53 - 1
+		sm.AddGauge("digest", func(uint64) float64 { return float64(dr.Digest() & mant53) })
+		for l := 0; l < digest.NumLanes; l++ {
+			l := digest.Lane(l)
+			sm.AddGauge("digest_"+l.String(), func(uint64) float64 { return float64(dr.LaneValue(l) & mant53) })
+		}
 	}
 
 	s.Engine.Register(sm)

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/config"
+	"repro/internal/digest"
 	"repro/internal/dtm"
 	"repro/internal/fabric"
 	"repro/internal/geom"
@@ -142,6 +143,13 @@ type System struct {
 	// actually in force also depends on the attachments that require a
 	// global cycle order (see applySharding).
 	shardsWanted int
+
+	// digestRec, when non-nil, is the attached state-digest recorder
+	// (see AttachDigest): a periodic ticker folding every subsystem into
+	// per-subsystem hash chains. A pure observer — it reads simulator
+	// state and writes only its own arrays — so Results (minus the
+	// Digests field itself) are bit-identical with it attached.
+	digestRec *digest.Recorder
 
 	// hostProf, when non-nil, is the host-side phase profiler (see
 	// AttachProfile): wall-clock attribution across the loop's phases,
@@ -780,6 +788,15 @@ type Results struct {
 	// not the simulated chip, and is therefore host- and load-dependent:
 	// comparisons must strip it first (TestProfileDoesNotPerturb does).
 	Profile *prof.Report `json:",omitempty"`
+
+	// Digests is the state-digest summary — the final run-attesting
+	// digest plus per-subsystem chain values — filled only when a digest
+	// recorder was attached (see AttachDigest); nil otherwise. The
+	// digests describe simulator state exactly, so they are themselves
+	// deterministic, but a detached run has none: bit-identity
+	// comparisons against detached runs must strip the field first
+	// (TestDigestDoesNotPerturb does, like Profile).
+	Digests *digest.Report `json:",omitempty"`
 }
 
 // Results reads out the current measurement window.
@@ -830,6 +847,9 @@ func (s *System) Results() Results {
 	}
 	if s.hostProf != nil {
 		r.Profile = s.hostProf.Report()
+	}
+	if s.digestRec != nil {
+		r.Digests = s.digestRec.Report()
 	}
 	return r
 }

@@ -1,0 +1,27 @@
+package dtdma
+
+import "repro/internal/digest"
+
+// DigestFold folds the bus's dTDMA slot state: the arbitration wheel
+// position, pending-flit counter, utilization counters, and every
+// per-layer transmit buffer in FIFO order with its owning packet and
+// latched landing VC. The probe and busy/idle hooks are host-side
+// observers; deferPending is always false by the time tickers run.
+func (b *Bus) DigestFold(r *digest.Recorder) {
+	r.FoldInt(b.next)
+	r.FoldInt(b.pending)
+	r.Fold(b.BusyCycles)
+	r.Fold(b.TotalFlits)
+	for i := range b.txs {
+		t := &b.txs[i]
+		r.FoldInt(t.n)
+		for j := 0; j < t.n; j++ {
+			t.buf[(t.head+j)%txBufDepth].DigestFold(r)
+		}
+		r.FoldBool(t.owner != nil)
+		if t.owner != nil {
+			r.Fold(t.owner.ID)
+		}
+		r.FoldInt(t.landVC)
+	}
+}

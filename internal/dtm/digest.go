@@ -1,0 +1,38 @@
+package dtm
+
+import "repro/internal/digest"
+
+// DigestFold folds the controller's hysteresis masks (per-cell,
+// per-column, per-CPU), the duty-cycle slot counters, the primed latch,
+// and the report counters the actuators advance. These masks are the
+// control-loop state: a one-cycle difference in when a cell trips
+// changes them before it changes anything architectural.
+func (c *Controller) DigestFold(r *digest.Recorder) {
+	for _, h := range c.hot {
+		r.FoldBool(h)
+	}
+	for _, h := range c.colHot {
+		r.FoldBool(h)
+	}
+	for _, h := range c.cpuHot {
+		r.FoldBool(h)
+	}
+	for _, s := range c.cpuSlot {
+		r.Fold(uint64(s))
+	}
+	r.FoldBool(c.primed)
+	st := &c.stats
+	r.Fold(st.Steps)
+	r.Fold(st.TripEngagements)
+	r.Fold(st.FirstTripCycle)
+	r.Fold(st.HotCells)
+	r.Fold(st.HotCellSteps)
+	r.FoldFloat(st.PeakC)
+	r.FoldFloat(st.PeakOverTripC)
+	r.Fold(st.MigrationVetoes)
+	r.Fold(st.BankWakeups)
+	r.Fold(st.BankWakeupCycles)
+	r.Fold(st.ThrottleStalls)
+	r.Fold(st.PillarDiversions)
+	r.FoldFloat(st.DrowsyLeakSavedPJ)
+}

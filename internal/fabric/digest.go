@@ -1,0 +1,30 @@
+package fabric
+
+import (
+	"repro/internal/digest"
+	"repro/internal/stats"
+)
+
+// DigestFold folds the fabric's bookkeeping and every router (in index
+// order — layout order, identical across runs). Router occupancy is
+// digested via the routers themselves, so the active list — a scheduling
+// acceleration whose ordering is representation, not state — is skipped.
+// Buses are folded separately into the dTDMA lane by the system walker.
+func (f *Fabric) DigestFold(r *digest.Recorder) {
+	r.Fold(f.nextID)
+	r.Fold(f.now)
+	r.FoldInt(f.busyBuses)
+	r.Fold(f.Delivered.Value())
+	r.Fold(f.FlitHops.Value())
+	foldLatency(r, &f.PktLatency)
+	for _, rt := range f.routers {
+		rt.DigestFold(r)
+	}
+}
+
+func foldLatency(r *digest.Recorder, l *stats.Latency) {
+	r.Fold(l.Count())
+	r.Fold(l.Sum())
+	r.Fold(l.Min())
+	r.Fold(l.Max())
+}

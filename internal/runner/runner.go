@@ -60,6 +60,25 @@ type Job struct {
 	// VerticalNoC ablation run the historical serial path.
 	Shards int
 
+	// DigestInterval, when non-zero, attaches the state-digest recorder
+	// (core.System.AttachDigest) snapshotting every DigestInterval cycles
+	// of the measurement window; the summary lands in Results.Digests
+	// (whose in-memory Stream carries the full snapshot sequence), and
+	// any attached sampler gains the digest columns. Digesting is a pure
+	// observation: Results minus the Digests field are bit-identical to
+	// an undigested run. Zero leaves it off, costing nothing.
+	DigestInterval uint64
+	// DigestStart delays the digest attach by that many measurement
+	// cycles: the window's first DigestStart cycles run undigested, then
+	// the recorder attaches and snapshots the rest. This is the
+	// divergence bisector's refinement knob — rerun a window digesting
+	// every cycle, but only over the coarse-divergent tail — and it
+	// changes Results.Digests coverage accordingly. Ignored when
+	// DigestInterval is zero; a DigestStart past the window clamps to it.
+	// A late-attached recorder registers after the sampler, so the
+	// sampler digest columns require DigestStart == 0.
+	DigestStart uint64
+
 	// RecordSpans attaches a transaction span recorder
 	// (core.System.AttachSpans), so Results.Breakdown carries the
 	// per-component latency decomposition of the measurement window. The
@@ -277,6 +296,19 @@ func runOne(i int, j Job) (res Result) {
 			i, j.Config.DTMPolicy)
 		return res
 	}
+	// Digest recorder before the sampler, so the sampler's digest columns
+	// read the snapshot the recorder just took at the same cycle. A
+	// non-zero DigestStart defers the attach into the window instead.
+	digestStart := uint64(0)
+	if j.DigestInterval > 0 {
+		digestStart = j.DigestStart
+		if digestStart > j.MeasureCycles {
+			digestStart = j.MeasureCycles
+		}
+		if digestStart == 0 {
+			sys.AttachDigest(j.DigestInterval).Reserve(int(j.MeasureCycles/j.DigestInterval) + 1)
+		}
+	}
 	var sampler *obs.Sampler
 	if j.SampleInterval > 0 {
 		sampler = sys.AttachSampler(j.SampleInterval)
@@ -284,7 +316,18 @@ func runOne(i int, j Job) (res Result) {
 			sampler.SetRowSink(j.OnSample)
 		}
 	}
-	runChunked(sys, j, rec, j.MeasureCycles, warmFrac, 1-warmFrac, true)
+	if digestStart > 0 {
+		// Split the window at the deferred attach point; both segments are
+		// ordinary chunked runs, so progress/stats hooks see one window.
+		measureFrac := 1 - warmFrac
+		startFrac := measureFrac * float64(digestStart) / float64(j.MeasureCycles)
+		runChunked(sys, j, rec, digestStart, warmFrac, startFrac, true)
+		rest := j.MeasureCycles - digestStart
+		sys.AttachDigest(j.DigestInterval).Reserve(int(rest/j.DigestInterval) + 1)
+		runChunked(sys, j, rec, rest, warmFrac+startFrac, measureFrac-startFrac, true)
+	} else {
+		runChunked(sys, j, rec, j.MeasureCycles, warmFrac, 1-warmFrac, true)
+	}
 	if j.Progress != nil {
 		j.Progress(1)
 	}

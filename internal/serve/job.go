@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/config"
+	"repro/internal/digest"
 	"repro/internal/prof"
 	"repro/internal/runner"
 	"repro/internal/stats"
@@ -51,6 +52,23 @@ type JobRequest struct {
 	NoSamples       bool   `json:"no_samples,omitempty"`
 	ThermalInterval uint64 `json:"thermal_interval,omitempty"`
 	RecordSpans     bool   `json:"record_spans,omitempty"`
+
+	// DigestInterval, when non-zero, attaches the state-digest recorder
+	// (runner.Job.DigestInterval): the job's Results carry the Digests
+	// report, GET /jobs/{id} a digest summary, and /metrics the
+	// nimsim_job_digest_info family. Unlike Shards it IS part of the job
+	// identity — digesting adds the Digests field to the Results bytes,
+	// so digested and undigested submissions must not share a cache entry.
+	DigestInterval uint64 `json:"digest_interval,omitempty"`
+	// DigestVerify, when true (and DigestInterval non-zero), makes the
+	// worker rerun the job as a serial reference after the primary run
+	// and compare the two digest streams, publishing any mismatch as
+	// nimsim_job_digest_mismatch_cycle — a paid-for, on-demand audit of
+	// the bit-identity contract (it roughly doubles the job's cost).
+	// Like Shards it is NOT part of the job identity (it changes no
+	// Results byte), so the flag on the submission that first registers
+	// the job wins; coalesced and cached submissions inherit it.
+	DigestVerify bool `json:"digest_verify,omitempty"`
 
 	// Shards, when > 1, runs the job's network phase sharded across that
 	// many layer goroutines (runner.Job.Shards). Results are bit-identical
@@ -161,6 +179,7 @@ func (s *Server) buildJob(req JobRequest) (runner.Job, error) {
 		ThermalInterval: thermal,
 		Shards:          shards,
 		RecordSpans:     req.RecordSpans,
+		DigestInterval:  req.DigestInterval,
 	}, nil
 }
 
@@ -183,6 +202,7 @@ type jobIdentity struct {
 	SampleInterval  uint64 `json:"sample_interval"`
 	ThermalInterval uint64 `json:"thermal_interval"`
 	RecordSpans     bool   `json:"record_spans"`
+	DigestInterval  uint64 `json:"digest_interval"`
 }
 
 // jobID derives the registry key for a normalized runner job: 16 hex
@@ -197,6 +217,7 @@ func jobID(j runner.Job) string {
 		SampleInterval:  j.SampleInterval,
 		ThermalInterval: j.ThermalInterval,
 		RecordSpans:     j.RecordSpans,
+		DigestInterval:  j.DigestInterval,
 	}
 	b, err := json.Marshal(ident)
 	if err != nil {
@@ -225,6 +246,10 @@ type job struct {
 	id  string
 	run runner.Job // hook-free template; the worker adds hooks
 
+	// verify records the first submission's DigestVerify request; the
+	// worker acts on it after the primary run (see Server.runJob).
+	verify bool
+
 	state    string
 	fraction float64
 	submits  int // total POSTs that mapped here (1 + hits + coalesces)
@@ -235,6 +260,13 @@ type job struct {
 	rows     [][]float64
 	counters []stats.NameValue
 	profile  *prof.Snapshot // latest host-side phase snapshot, nil until first chunk
+
+	digest        *digest.Report // final digest report, nil unless the job digested
+	droppedEvents uint64         // trace-ring events lost to backpressure (obs.RingSink)
+	verified      bool           // serial reference rerun completed and streams compared
+	mismatch      bool           // the reference comparison found a divergence
+	mismatchCycle uint64
+	mismatchLane  string
 
 	resultJSON json.RawMessage // canonical Results bytes, marshaled once
 	errMsg     string
@@ -294,6 +326,26 @@ func (rec *job) appendRow(header []string, row []float64) {
 	rec.mu.Unlock()
 }
 
+// setDigest publishes the run's final digest report and the trace-ring
+// drop count alongside it (both land together, from the run's Results).
+func (rec *job) setDigest(rep *digest.Report, dropped uint64) {
+	rec.mu.Lock()
+	rec.digest = rep
+	rec.droppedEvents = dropped
+	rec.mu.Unlock()
+}
+
+// setVerify publishes the outcome of the serial-reference digest
+// comparison (see Server.runJob).
+func (rec *job) setVerify(mismatch bool, cycle uint64, lane string) {
+	rec.mu.Lock()
+	rec.verified = true
+	rec.mismatch = mismatch
+	rec.mismatchCycle = cycle
+	rec.mismatchLane = lane
+	rec.mu.Unlock()
+}
+
 // finish publishes the final Results bytes and flips the state to done.
 // The bytes are marshaled exactly once and served verbatim from then on,
 // which is what makes a cache hit byte-identical to the first run.
@@ -328,7 +380,25 @@ type JobStatus struct {
 	Created    time.Time       `json:"created"`
 	Rows       int             `json:"rows_streamed"`
 	Error      string          `json:"error,omitempty"`
+	Digest     *DigestStatus   `json:"digest,omitempty"`
 	Results    json.RawMessage `json:"results,omitempty"`
+}
+
+// DigestStatus summarizes a digested job on the status API: the run's
+// final 64-bit state digest plus, when DigestVerify was requested, the
+// outcome of the serial-reference comparison.
+type DigestStatus struct {
+	Digest   string `json:"digest"`
+	Interval uint64 `json:"interval"`
+	Records  int    `json:"records"`
+	// Verified reports that the serial reference rerun completed and its
+	// digest stream was compared against the primary run's.
+	Verified bool `json:"verified,omitempty"`
+	// Mismatch, MismatchCycle, and MismatchLane report the comparison's
+	// first point of departure, present only when the streams differed.
+	Mismatch      bool   `json:"mismatch,omitempty"`
+	MismatchCycle uint64 `json:"mismatch_cycle,omitempty"`
+	MismatchLane  string `json:"mismatch_lane,omitempty"`
 }
 
 // status snapshots the record for the JSON API. withResults selects
@@ -347,6 +417,17 @@ func (rec *job) status(withResults bool) JobStatus {
 		Created:    rec.created,
 		Rows:       len(rec.rows),
 		Error:      rec.errMsg,
+	}
+	if rec.digest != nil {
+		st.Digest = &DigestStatus{
+			Digest:        rec.digest.Digest,
+			Interval:      rec.digest.Interval,
+			Records:       rec.digest.Records,
+			Verified:      rec.verified,
+			Mismatch:      rec.mismatch,
+			MismatchCycle: rec.mismatchCycle,
+			MismatchLane:  rec.mismatchLane,
+		}
 	}
 	if withResults {
 		st.Results = rec.resultJSON

@@ -23,6 +23,11 @@ var buildVersion = func() string {
 	return "dev"
 }()
 
+// BuildVersion reports the module version stamped into the binary — the
+// same string nimsim_build_info and the BENCH_*.json host stamps carry
+// ("dev" for unstamped builds). Exported for `nimsim -version`.
+func BuildVersion() string { return buildVersion }
+
 // daemonMetrics are the server's own counters, updated from handler and
 // worker goroutines; atomics keep /metrics race-free without sharing the
 // registry lock.
@@ -79,6 +84,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		shards   int
 		counters map[string]uint64
 		profile  *prof.Snapshot
+
+		terminal      bool
+		dropped       uint64
+		digest        string // final 64-bit state digest (16 hex), "" if undigested
+		digestIval    uint64
+		verified      bool
+		mismatch      bool
+		mismatchCycle uint64
+		mismatchLane  string
 	}
 	rows := make([]jobRow, 0, len(recs))
 	for _, rec := range recs {
@@ -93,6 +107,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				jr.counters[nv.Name] = nv.Value
 			}
 		}
+		jr.terminal = terminal(rec.state)
+		jr.dropped = rec.droppedEvents
+		if rec.digest != nil {
+			jr.digest = rec.digest.Digest
+			jr.digestIval = rec.digest.Interval
+		}
+		jr.verified, jr.mismatch = rec.verified, rec.mismatch
+		jr.mismatchCycle, jr.mismatchLane = rec.mismatchCycle, rec.mismatchLane
 		rec.mu.Unlock()
 		if jr.state == StateRunning {
 			running++
@@ -153,6 +175,43 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(&b, "nimsim_job_barrier_wait_frac{job=%q} %g\n", jr.id, jr.profile.BarrierWaitFrac)
 	}
 
+	// Trace-ring drops, per finished job: non-zero means the job's Chrome
+	// trace is incomplete (obs.RingSink shed events under backpressure).
+	fmt.Fprintf(&b, "# HELP nimsim_job_dropped_events Trace events lost to ring-buffer backpressure, per finished job.\n# TYPE nimsim_job_dropped_events gauge\n")
+	for _, jr := range rows {
+		if !jr.terminal {
+			continue
+		}
+		fmt.Fprintf(&b, "nimsim_job_dropped_events{job=%q} %d\n", jr.id, jr.dropped)
+	}
+
+	// State digests: the run's final 64-bit digest as a label (info-style
+	// metric, value always 1 — 64-bit digests do not fit a float64), plus
+	// the first mismatching cycle when a DigestVerify reference comparison
+	// found one.
+	fmt.Fprintf(&b, "# HELP nimsim_job_digest_info Final 64-bit state digest of each digested job as a label; the value is always 1.\n# TYPE nimsim_job_digest_info gauge\n")
+	for _, jr := range rows {
+		if jr.digest == "" {
+			continue
+		}
+		fmt.Fprintf(&b, "nimsim_job_digest_info{job=%q,digest=%q,interval=\"%d\",verified=%q} 1\n",
+			jr.id, jr.digest, jr.digestIval, boolLabel(jr.verified))
+	}
+	fmt.Fprintf(&b, "# HELP nimsim_job_digest_mismatch_cycle First cycle where a DigestVerify reference comparison diverged, labeled with the offending subsystem.\n# TYPE nimsim_job_digest_mismatch_cycle gauge\n")
+	for _, jr := range rows {
+		if !jr.mismatch {
+			continue
+		}
+		fmt.Fprintf(&b, "nimsim_job_digest_mismatch_cycle{job=%q,lane=%q} %d\n", jr.id, jr.mismatchLane, jr.mismatchCycle)
+	}
+
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = fmt.Fprint(w, b.String())
+}
+
+func boolLabel(v bool) string {
+	if v {
+		return "true"
+	}
+	return "false"
 }

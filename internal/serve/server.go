@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/digest"
 	"repro/internal/runner"
 )
 
@@ -190,8 +191,41 @@ func (s *Server) runJob(rec *job) {
 		rec.fail(fmt.Errorf("marshaling results: %w", err), time.Now())
 		return
 	}
+	if res.Results.Digests != nil {
+		var dropped uint64
+		if res.Samples != nil {
+			dropped = res.Samples.DroppedEvents
+		}
+		rec.setDigest(res.Results.Digests, dropped)
+		s.verifyDigest(rec, res.Results.Digests)
+	} else if res.Samples != nil {
+		rec.setDigest(nil, res.Samples.DroppedEvents)
+	}
 	s.m.completed.Add(1)
 	rec.finish(b, time.Now())
+}
+
+// verifyDigest is the DigestVerify rerun: the same job as a serial
+// reference (Shards=1, no hooks), its digest stream compared against the
+// primary run's. A mismatch names the first divergent cycle and
+// subsystem on the status API and /metrics — the daemon catching a
+// broken bit-identity contract in production rather than in CI. A failed
+// rerun leaves the job unverified (the primary results stand).
+func (s *Server) verifyDigest(rec *job, primary *digest.Report) {
+	if !rec.verify {
+		return
+	}
+	ref := rec.run
+	ref.Shards = 1
+	refRes := runner.Run([]runner.Job{ref}, 1)[0]
+	if refRes.Err != nil || refRes.Results.Digests == nil {
+		return
+	}
+	if div, ok := digest.Compare(primary.Stream, refRes.Results.Digests.Stream); ok {
+		rec.setVerify(true, div.Cycle, div.Lane.String())
+	} else {
+		rec.setVerify(false, 0, "")
+	}
 }
 
 // handleSubmit is POST /jobs: normalize, hash, and either return the
@@ -237,6 +271,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rec = newJob(id, run, time.Now())
+	rec.verify = req.DigestVerify && run.DigestInterval > 0
 	select {
 	case s.queue <- rec:
 	default:

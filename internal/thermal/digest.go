@@ -1,0 +1,15 @@
+package thermal
+
+import "repro/internal/digest"
+
+// DigestFold folds the grid's power and temperature fields bit-exactly.
+// The `next` buffer and maxDt are solver scratch, recomputed from
+// power/temp on every Step, so they carry no independent state.
+func (g *Grid) DigestFold(r *digest.Recorder) {
+	for _, p := range g.power {
+		r.FoldFloat(p)
+	}
+	for _, t := range g.temp {
+		r.FoldFloat(t)
+	}
+}

@@ -1,0 +1,21 @@
+package trace
+
+import "repro/internal/digest"
+
+// DigestFold folds the generator's xorshift state and region cursors —
+// the entire source of workload nondeterminism. Two runs whose RNG
+// lanes agree are replaying the same reference stream.
+func (g *Generator) DigestFold(r *digest.Recorder) {
+	r.Fold(g.rng.state)
+	r.FoldInt(g.streamPos)
+	r.FoldInt(g.codeLine)
+	r.FoldInt(g.coldLine)
+	r.FoldInt(g.coldFetches)
+	r.FoldInt(g.instrAccum)
+}
+
+// DigestFold folds the replay cursor of a recorded reference stream.
+func (f *FileStream) DigestFold(r *digest.Recorder) {
+	r.FoldInt(f.pos)
+	r.FoldInt(len(f.refs))
+}

@@ -36,6 +36,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/digest"
 	"repro/internal/dtm"
 	"repro/internal/obs"
 	"repro/internal/prof"
@@ -413,6 +414,57 @@ type ProfileReport = prof.Report
 // attribute the whole run; idempotent.
 func (s *Simulation) AttachProfile() *ProfileRecorder {
 	return s.sys.AttachProfile()
+}
+
+// --- State digests (internal/digest) ------------------------------------
+
+// DigestRecorder is the incremental state-digest engine; see AttachDigest.
+// Read the final digest with Digest(), the full snapshot stream with
+// Records().
+type DigestRecorder = digest.Recorder
+
+// DigestReport is the digest summary appearing in Results.Digests when a
+// recorder is attached: the snapshot interval, the final run-attesting
+// 64-bit digest, and the per-subsystem chain values. Its in-memory
+// Stream field (not serialized) carries the full snapshot sequence.
+type DigestReport = digest.Report
+
+// DigestRecord is one digest snapshot: a cycle plus cumulative per-lane
+// and overall digests.
+type DigestRecord = digest.Record
+
+// AttachDigest registers a periodic state-digest recorder: every
+// interval cycles it folds every stateful subsystem — CPUs and L1s, L2
+// tags and the MSI directory, router queues and in-flight packets,
+// dTDMA slot state, the event engine, the thermal grid and DTM masks,
+// the trace RNGs — into per-subsystem hash chains, chained into one
+// run-attesting digest. Two runs whose digests agree were in identical
+// simulated state at every snapshot; when they disagree, the
+// per-subsystem chains name where state first differed (see Diverge).
+//
+// Attach right after ResetStats so the stream covers exactly the
+// measurement window, and before AttachSampler if the sampler should
+// carry the digest columns. Results gains the Digests report. Digesting
+// is a pure observation — Results (Digests field aside) are
+// bit-identical to an unattached run, serial or sharded — and the
+// record path is allocation-free in steady state. Idempotent.
+func (s *Simulation) AttachDigest(interval uint64) *DigestRecorder {
+	return s.sys.AttachDigest(interval)
+}
+
+// DivergeReport locates where two configurations' digest streams first
+// disagree; see Diverge.
+type DivergeReport = runner.DivergeReport
+
+// Diverge runs two sweep jobs side by side with digest recorders
+// attached, binary-searches their snapshot streams for the first
+// divergence, and refines it to the exact first divergent cycle and the
+// offending subsystem by rerunning just the divergent window with
+// per-cycle digesting. b's windows and seed are forced to a's so the
+// streams align; everything else may differ. interval is the coarse
+// snapshot period (0 selects 1000 cycles).
+func Diverge(a, b SweepJob, interval uint64) (*DivergeReport, error) {
+	return runner.Diverge(a, b, interval)
 }
 
 // --- Serving (internal/serve) -------------------------------------------

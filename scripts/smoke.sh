@@ -12,7 +12,7 @@ cd "$(dirname "$0")/.."
 
 PORT="${1:-18080}"
 ADDR="127.0.0.1:${PORT}"
-BODY='{"scheme":"dnuca3d","benchmark":"mgrid","warm_cycles":1000,"measure_cycles":5000,"sample_interval":500}'
+BODY='{"scheme":"dnuca3d","benchmark":"mgrid","warm_cycles":1000,"measure_cycles":5000,"sample_interval":500,"digest_interval":500}'
 
 echo "smoke: building nimsimd"
 go build -o /tmp/nimsimd-smoke ./cmd/nimsimd
@@ -34,6 +34,8 @@ echo "$FIRST" | grep -q '"state": *"done"' || {
   echo "smoke: job did not reach done: $FIRST" >&2; exit 1; }
 echo "$FIRST" | grep -q '"results": *{' || {
   echo "smoke: done job carried no results: $FIRST" >&2; exit 1; }
+echo "$FIRST" | grep -Eq '"digest": *"[0-9a-f]{16}"' || {
+  echo "smoke: digested job carried no 16-hex state digest: $FIRST" >&2; exit 1; }
 
 echo "smoke: scraping /metrics"
 METRICS=$(curl -fsS "http://$ADDR/metrics")
